@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run pytest with ``-s`` to
+see them). ``REPRO_BENCH_SCALE`` selects the proxy sizing: ``quick``
+(default, tens of seconds per figure), ``medium``, or ``full`` (the
+paper's 816-combination grids — hours).
+
+The sweep-driven figures (3, 4, 5) share one memoized sweep per session,
+so their combined cost is one sweep plus rendering.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import SCALES
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paperfig: regenerates a paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}"
+        )
+    return SCALES[name]
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print through pytest's capture so figures are always visible."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

@@ -1,0 +1,24 @@
+"""Figure 3 benchmark: FE/BE/BS-bound heatmaps across crf x refs.
+
+Shape targets (paper §IV-A1): raising crf or refs lowers the front-end
+and bad-speculation bound fractions and raises the back-end bound
+fraction; the front end stays a small, slowly-varying slice throughout.
+"""
+
+import pytest
+
+from repro.experiments import fig3_heatmaps
+
+
+@pytest.mark.paperfig
+def test_fig3_heatmaps(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig3_heatmaps.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    deltas = result.corner_deltas()
+    assert deltas["backend"] > 0, "BE bound must rise toward high crf+refs"
+    assert deltas["bad_speculation"] < 0, "BS bound must fall"
+    # Front-end bound stays a small fraction everywhere (paper: "only a
+    # small fraction ... do not change significantly").
+    assert result.frontend.max() < 25.0

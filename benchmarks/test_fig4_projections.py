@@ -1,0 +1,30 @@
+"""Figure 4 benchmark: the PSNR/bitrate lines and time-vs-refs elbows.
+
+Shape targets: crf pins PSNR (lines are flat); line length (the bitrate
+range reachable via refs) shrinks with crf — "low crf benefits more from
+increasing refs"; transcode time grows with refs with diminishing slope.
+"""
+
+import pytest
+
+from repro.experiments import fig4_projections
+
+
+@pytest.mark.paperfig
+def test_fig4_projections(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig4_projections.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    lines = result.projection_a
+    # Quality ladder: PSNR strictly ordered by crf.
+    psnrs = [l.psnr_db for l in lines]
+    assert psnrs == sorted(psnrs, reverse=True)
+    # Diminishing refs benefit: the highest-crf line is no longer than the
+    # lowest-crf line (absolute bitrate range shrinks with crf).
+    assert lines[-1].line_length <= lines[0].line_length + 1.0
+    # Projection B: time rises with refs for the default crf.
+    mid_crf = result.crf_values[len(result.crf_values) // 2]
+    times = result.projection_b[mid_crf]
+    refs = result.refs_values
+    assert times[refs[-1]] >= times[refs[0]]

@@ -1,0 +1,24 @@
+"""Figure 5 benchmark: eight µarch-inefficiency heatmaps across crf x refs.
+
+Shape targets (paper §IV-A1): branch MPKI falls with crf and refs; L1/L2
+data MPKI and ROB/RS stalls rise; the store buffer is the exception —
+its stalls fall as refs grows.
+"""
+
+import pytest
+
+from repro.experiments import fig5_inefficiency
+
+
+@pytest.mark.paperfig
+def test_fig5_inefficiency(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig5_inefficiency.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    assert result.trend_along_crf("branch") < 0
+    assert result.trend_along_crf("l1") > 0
+    assert result.trend_along_crf("rob") > 0
+    assert result.trend_along_crf("rs") > 0
+    assert result.trend_along_refs("l2") > 0
+    assert result.trend_along_refs("sb") < 0, "SB stalls fall with refs"

@@ -1,0 +1,28 @@
+"""Figure 6 benchmark: the ten presets at crf=23, refs=3.
+
+Shape targets (paper §IV-A2): time rises monotonically from ultrafast to
+placebo; bitrate improves sharply up to veryfast then plateaus; data
+cache MPKI falls with slower presets; branch MPKI has no single
+direction.
+"""
+
+import pytest
+
+from repro.experiments import fig6_presets
+
+
+@pytest.mark.paperfig
+def test_fig6_presets(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig6_presets.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    times = result.series("time_seconds")
+    # Broad monotonicity: placebo >> slow >> ultrafast.
+    assert times[-1] > times[5] > times[0]
+    # Bitrate: big improvement from ultrafast to veryfast...
+    rates = result.series("bitrate_kbps")
+    assert rates[2] < rates[0]
+    # Data-cache MPKI falls from the fastest preset to the slowest.
+    l1 = result.series("l1d_mpki")
+    assert l1[-1] < l1[0]

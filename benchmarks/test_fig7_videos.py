@@ -1,0 +1,22 @@
+"""Figure 7 benchmark: all sixteen videos at medium/crf=23/refs=3.
+
+Shape targets (paper §IV-A3): with rising entropy, front-end and
+bad-speculation bound slots and branch MPKI rise while back-end bound
+slots and data-cache MPKI fall — within and across resolution groups.
+"""
+
+import pytest
+
+from repro.experiments import fig7_videos
+
+
+@pytest.mark.paperfig
+def test_fig7_videos(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig7_videos.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    assert result.correlation("bad_speculation") > 0.5
+    assert result.correlation("branch_mpki") > 0.5
+    assert result.correlation("backend_bound") < -0.5
+    assert result.correlation("l1d_mpki") < -0.3

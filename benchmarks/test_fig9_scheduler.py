@@ -1,0 +1,22 @@
+"""Figure 9 benchmark: random vs smart vs best scheduler speedups.
+
+Paper numbers: the smart scheduler beats random by 3.72% and matches the
+best scheduler's placement 75% of the time. Shape targets: best >= smart
+> random; smart captures a substantial share of the oracle's gain.
+"""
+
+import pytest
+
+from repro.experiments import fig9_scheduler
+
+
+@pytest.mark.paperfig
+def test_fig9_scheduler(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig9_scheduler.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    speedups = result.speedups
+    assert speedups["best"] >= speedups["smart"] >= speedups["random"] - 0.5
+    assert result.smart_vs_random_pct > 0.0
+    assert result.smart_matches_best_fraction >= 0.25

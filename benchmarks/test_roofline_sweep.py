@@ -1,0 +1,21 @@
+"""Roofline extension benchmark: operational intensity across crf x refs.
+
+The paper's §IV-A argument: increasing crf or refs lowers operational
+intensity, which is why the workload slides toward the memory-bound
+region. This bench verifies the intensity trends are negative along both
+axes, making the roofline explanation quantitative.
+"""
+
+import pytest
+
+from repro.experiments import roofline_sweep
+
+
+@pytest.mark.paperfig
+def test_roofline_sweep(benchmark, scale, show):
+    result = benchmark.pedantic(
+        roofline_sweep.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(result.render())
+    assert result.intensity_trend_along_crf() < 0
+    assert result.intensity_trend_along_refs() < 0

@@ -1,0 +1,12 @@
+"""Table II benchmark: the preset option matrix."""
+
+import pytest
+
+from repro.experiments.tables import tab2
+
+
+@pytest.mark.paperfig
+def test_tab2_presets(benchmark, show):
+    text = benchmark.pedantic(tab2, rounds=1, iterations=1)
+    show(text)
+    assert "ultrafast" in text and "placebo" in text

@@ -1,0 +1,12 @@
+"""Table III benchmark: the scheduler case-study task list."""
+
+import pytest
+
+from repro.experiments.tables import tab3
+
+
+@pytest.mark.paperfig
+def test_tab3_tasks(benchmark, show):
+    text = benchmark.pedantic(tab3, rounds=1, iterations=1)
+    show(text)
+    assert "holi" in text

@@ -1,0 +1,12 @@
+"""Table IV benchmark: the five µarch configurations."""
+
+import pytest
+
+from repro.experiments.tables import tab4
+
+
+@pytest.mark.paperfig
+def test_tab4_configs(benchmark, show):
+    text = benchmark.pedantic(tab4, rounds=1, iterations=1)
+    show(text)
+    assert "be_op1" in text and "tage" in text.lower()

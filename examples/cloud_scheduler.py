@@ -1,0 +1,63 @@
+"""Cloud scheduling: place transcoding tasks on heterogeneous servers.
+
+Run with::
+
+    python examples/cloud_scheduler.py
+
+Reproduces the paper's §III-D2 case study: the four Table III tasks are
+profiled on the baseline server, each variant server (Table IV) is
+simulated, and the random / smart / best schedulers are compared. The
+smart scheduler sees only the baseline characterization — never the
+per-server runtimes — yet recovers most of the oracle's benefit.
+"""
+
+from __future__ import annotations
+
+from repro._util import format_table
+from repro.scheduling.casestudy import run_case_study
+
+
+def main() -> None:
+    print("simulating Table III tasks on all Table IV configurations ...\n")
+    study = run_case_study(width=112, height=64, n_frames=10)
+
+    # Per-task speedups on each server.
+    rows = []
+    for task in study.tasks:
+        base = study.baseline_cycles[task.task_id]
+        counters = study.counters[task.task_id]
+        row = [
+            f"{task.video} crf={task.crf} refs={task.refs} {task.preset}",
+            f"mem={counters.memory_bound:.0f}% bs={counters.bad_speculation:.0f}%",
+        ]
+        row += [
+            (base / study.cycles[task.task_id][cfg] - 1) * 100
+            for cfg in study.config_names
+        ]
+        rows.append(row)
+    print(format_table(
+        ["task", "bottleneck"] + [f"{c} %" for c in study.config_names],
+        rows,
+        floatfmt="+.2f",
+    ))
+
+    print("\nscheduler comparison:")
+    rows = []
+    for name in ("random", "smart", "best"):
+        a = study.assignments[name]
+        placements = " ".join(
+            f"T{t}->{c}" for t, c in sorted(a.placement.items())
+        )
+        rows.append([name, a.mean_speedup_pct, placements])
+    print(format_table(["scheduler", "mean speedup %", "placement"], rows))
+
+    print(
+        f"\nsmart beats random by {study.smart_vs_random_pct:+.2f} pp "
+        f"(paper: +3.72) and matches the oracle's placement on "
+        f"{study.smart_matches_best_fraction * 100:.0f}% of tasks "
+        f"(paper: 75%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

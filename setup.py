@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build; this
+shim lets ``python setup.py develop`` provide the editable install. All
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro: a reproduction of "CPU Microarchitectural Performance
+Characterization of Cloud Video Transcoding" (IISWC 2020).
+
+Public API surface
+------------------
+- :mod:`repro.video` — frames, synthetic vbench stand-ins, quality metrics;
+- :mod:`repro.codec` — the x264-style encoder/decoder and the ten presets;
+- :mod:`repro.ffmpeg` — the transcode pipeline and CLI facade;
+- :mod:`repro.trace` — execution tracing (the codec -> simulator bridge);
+- :mod:`repro.uarch` — the Sniper-style µarch simulator and Table IV configs;
+- :mod:`repro.profiling` — VTune/perf-style profiling over the simulator;
+- :mod:`repro.optim` — AutoFDO and Graphite compiler-optimization models;
+- :mod:`repro.scheduling` — the smart-scheduler case study;
+- :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import transcode, load_video, profile_transcode
+
+    clip = load_video("cricket")
+    result = transcode(clip, preset="medium", crf=23)
+    profiled = profile_transcode(clip)
+    print(profiled.counters.backend_bound)
+"""
+
+from repro.codec import EncoderOptions, decode, encode, preset_options
+from repro.ffmpeg import transcode
+from repro.profiling import profile_transcode
+from repro.video import load_video
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "transcode",
+    "encode",
+    "decode",
+    "EncoderOptions",
+    "preset_options",
+    "load_video",
+    "profile_transcode",
+    "__version__",
+]

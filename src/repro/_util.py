@@ -1,0 +1,101 @@
+"""Shared internal helpers used across the ``repro`` packages.
+
+Nothing in this module is part of the public API; it collects the small
+pieces of validation, deterministic randomness, and formatting glue that
+would otherwise be duplicated in many modules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_range",
+    "check_choice",
+    "check_positive",
+    "stable_seed",
+    "rng_for",
+    "clamp",
+    "format_table",
+    "geometric_mean",
+]
+
+
+def check_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_choice(name: str, value: object, choices: Iterable[object]) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``choices``."""
+    options = list(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a deterministic 63-bit seed from arbitrary labels.
+
+    The same sequence of parts always produces the same seed across runs
+    and platforms, which keeps synthetic videos and sampled simulations
+    reproducible without any global random state.
+    """
+    digest = hashlib.sha256("\x1f".join(str(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)
+
+
+def rng_for(*parts: object) -> np.random.Generator:
+    """Return a ``numpy`` generator seeded deterministically from labels."""
+    return np.random.default_rng(stable_seed(*parts))
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` to the closed interval ``[lo, hi]``."""
+    return lo if value < lo else hi if value > hi else value
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; raises on empty or nonpositive."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render an ASCII table; floats use ``floatfmt``, everything else ``str``."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return format(float(v), floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    out.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in str_rows)
+    return "\n".join(out)

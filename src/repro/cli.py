@@ -1,0 +1,111 @@
+"""``repro`` / ``python -m repro``: run any paper experiment by id.
+
+Examples::
+
+    repro tab1              # Table I with measured entropies
+    repro fig3 --scale quick
+    repro fig8 --scale medium
+    repro all               # every table and figure at the chosen scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.experiments.runner import SCALES
+
+__all__ = ["main"]
+
+
+def _render(exp_id: str, scale) -> str:
+    # Imports are local so `repro tab2` does not pay for numpy-heavy
+    # experiment modules it does not use.
+    if exp_id == "tab1":
+        from repro.experiments.tables import tab1
+
+        return tab1(scale).render()
+    if exp_id == "tab2":
+        from repro.experiments.tables import tab2
+
+        return tab2()
+    if exp_id == "tab3":
+        from repro.experiments.tables import tab3
+
+        return tab3()
+    if exp_id == "tab4":
+        from repro.experiments.tables import tab4
+
+        return tab4()
+    if exp_id == "fig3":
+        from repro.experiments import fig3_heatmaps
+
+        return fig3_heatmaps.run(scale).render()
+    if exp_id == "fig4":
+        from repro.experiments import fig4_projections
+
+        return fig4_projections.run(scale).render()
+    if exp_id == "fig5":
+        from repro.experiments import fig5_inefficiency
+
+        return fig5_inefficiency.run(scale).render()
+    if exp_id == "fig6":
+        from repro.experiments import fig6_presets
+
+        return fig6_presets.run(scale).render()
+    if exp_id == "fig7":
+        from repro.experiments import fig7_videos
+
+        return fig7_videos.run(scale).render()
+    if exp_id == "fig8":
+        from repro.experiments import fig8_compiler
+
+        return fig8_compiler.run(scale).render()
+    if exp_id == "fig9":
+        from repro.experiments import fig9_scheduler
+
+        return fig9_scheduler.run(scale).render()
+    if exp_id == "roofline":
+        from repro.experiments import roofline_sweep
+
+        return roofline_sweep.run(scale).render()
+    raise KeyError(exp_id)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENT_IDS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=sorted(SCALES),
+        help="proxy sizing: quick (seconds-minutes), medium, full (hours)",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    ids = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.perf_counter()
+        try:
+            output = _render(exp_id, scale)
+        except Exception as exc:  # surface which experiment failed
+            print(f"[{exp_id}] FAILED: {exc}", file=sys.stderr)
+            raise
+        elapsed = time.perf_counter() - t0
+        print(output)
+        print(f"\n[{exp_id} done in {elapsed:.1f}s at scale={scale.name}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

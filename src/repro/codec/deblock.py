@@ -1,0 +1,82 @@
+"""In-loop deblocking filter.
+
+Smooths block-boundary discontinuities in the reconstruction before it is
+used as a reference (Table II's ``deblock`` option: ``[0:0]`` disables it
+for ultrafast, ``[1:0]`` enables it everywhere else). The filter is a
+simplified H.264 boundary filter: edge pixels are low-pass filtered only
+where the discontinuity is small enough to be a coding artifact rather
+than a real edge, with thresholds derived from QP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_range
+
+__all__ = ["deblock_plane", "deblock_thresholds"]
+
+
+def deblock_thresholds(qp: int, offset: int = 0) -> tuple[float, float]:
+    """(alpha, beta) edge/gradient thresholds, increasing with QP.
+
+    Higher QP means bigger quantization artifacts, so the filter becomes
+    more aggressive; ``offset`` shifts both (the second Table II deblock
+    parameter).
+    """
+    check_range("qp", qp, 0, 51)
+    q = max(0, min(51, qp + offset))
+    alpha = 0.8 * (2.0 ** (q / 6.0)) - 0.6
+    beta = 0.5 * q - 7.0
+    return max(alpha, 0.0), max(beta, 0.0)
+
+
+def _filter_edges(plane: np.ndarray, axis: int, alpha: float, beta: float) -> None:
+    """Filter all 4-pixel-aligned edges along one axis, in place."""
+    n = plane.shape[axis]
+    for edge in range(4, n, 4):
+        if axis == 0:
+            p1 = plane[edge - 2, :]
+            p0 = plane[edge - 1, :]
+            q0 = plane[edge, :]
+            q1 = plane[edge + 1, :] if edge + 1 < n else q0
+        else:
+            p1 = plane[:, edge - 2]
+            p0 = plane[:, edge - 1]
+            q0 = plane[:, edge]
+            q1 = plane[:, edge + 1] if edge + 1 < plane.shape[1] else q0
+        d_edge = np.abs(p0 - q0)
+        d_p = np.abs(p1 - p0)
+        d_q = np.abs(q1 - q0)
+        # Filter only where the step looks like a coding artifact.
+        mask = (d_edge < alpha) & (d_edge > 0) & (d_p < beta) & (d_q < beta)
+        if not np.any(mask):
+            continue
+        delta = (q0 - p0) / 4.0
+        p0_new = np.where(mask, p0 + delta, p0)
+        q0_new = np.where(mask, q0 - delta, q0)
+        if axis == 0:
+            plane[edge - 1, :] = p0_new
+            plane[edge, :] = q0_new
+        else:
+            plane[:, edge - 1] = p0_new
+            plane[:, edge] = q0_new
+
+
+def deblock_plane(
+    recon: np.ndarray, qp: int, *, offset: int = 0
+) -> tuple[np.ndarray, int]:
+    """Deblock a reconstructed luma plane.
+
+    Returns ``(filtered_plane, n_edges_processed)``; the edge count feeds
+    the trace recorder (the filter is a real kernel in the paper's
+    profiles).
+    """
+    alpha, beta = deblock_thresholds(qp, offset)
+    work = recon.astype(np.float64)
+    _filter_edges(work, axis=0, alpha=alpha, beta=beta)
+    _filter_edges(work, axis=1, alpha=alpha, beta=beta)
+    n_edges = (work.shape[0] // 4 - 1) * work.shape[1] + (
+        work.shape[1] // 4 - 1
+    ) * work.shape[0]
+    return np.clip(np.round(work), 0, 255).astype(np.uint8), max(n_edges, 0)

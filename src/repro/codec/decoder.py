@@ -1,0 +1,357 @@
+"""The decoder: parses the bitstream back into frames.
+
+Mirrors the encoder's reconstruction path exactly — same prediction
+fetches, same dequantization and inverse transform, same deblocking —
+so ``decode(encode(video)).frames == encoder reconstruction`` holds
+bit-exactly (verified by the round-trip integration tests). The decoding
+stage is deterministic and much cheaper than encoding, as the paper notes
+in §II-A; like the encoder it reports its kernel activity to an optional
+:class:`~repro.trace.recorder.Tracer` so a *full transcode* (decode +
+re-encode) can be profiled end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.chroma import decode_chroma_plane
+from repro.codec.deblock import deblock_plane
+from repro.codec.entropy import BitReader, decode_block, read_se, read_ue
+from repro.codec.intra import predict_16x16
+from repro.codec.motion import PaddedReference, fetch_prediction
+from repro.codec.quant import dequantize
+from repro.codec.transform import inverse_4x4, unblockify_16x16
+from repro.codec.types import FrameType, IntraMode, MotionVector
+from repro.trace.recorder import NullTracer, Tracer
+from repro.video.frame import Frame, FrameSequence
+
+__all__ = ["Decoder", "DecodeResult", "decode"]
+
+_ID_TO_FRAME_TYPE = {0: FrameType.I, 1: FrameType.P, 2: FrameType.B}
+# Must match encoder._MODE_IDS.
+_SKIP, _INTER16, _INTER8, _INTER4, _BI, _INTRA16, _INTRA4, _INTRA8 = range(8)
+
+_REF_PAD = 88  # >= encoder's merange + 24 upper bound (64 + 24)
+
+
+@dataclass
+class DecodeResult:
+    """Decoded clip plus per-frame metadata."""
+
+    video: FrameSequence
+    frame_types: list[FrameType]  # display order
+    frame_qps: list[int]  # display order
+
+
+@dataclass
+class _Anchor:
+    display_index: int
+    padded: PaddedReference
+    chroma: tuple[np.ndarray, np.ndarray] | None = None
+
+
+class Decoder:
+    """Stateless-between-calls bitstream decoder."""
+
+    def __init__(self, *, tracer: Tracer | None = None) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+    def decode(self, bitstream: bytes) -> DecodeResult:
+        reader = BitReader(bitstream)
+        width = read_ue(reader)
+        height = read_ue(reader)
+        fps = read_ue(reader) / 1000.0
+        n_frames = read_ue(reader)
+        deblock_enabled = read_ue(reader) == 1
+        deblock_offset = read_se(reader)
+        chroma_active = read_ue(reader) == 1
+        if width <= 0 or height <= 0 or n_frames <= 0 or fps <= 0:
+            raise ValueError("corrupt stream header")
+        # Sanity bounds: a hostile or damaged header must not drive huge
+        # allocations or unbounded decode loops.
+        if width > 16384 or height > 16384 or n_frames > 100_000 or fps > 1000:
+            raise ValueError("implausible stream header (corrupt or hostile)")
+        chroma_shape = ((height + 1) // 2, (width + 1) // 2)
+
+        pad_h = (height + 15) // 16 * 16
+        pad_w = (width + 15) // 16 * 16
+        n_mb_y, n_mb_x = pad_h // 16, pad_w // 16
+
+        decoded: dict[int, np.ndarray] = {}
+        decoded_chroma: dict[int, tuple[np.ndarray, np.ndarray] | None] = {}
+        types: dict[int, FrameType] = {}
+        qps: dict[int, int] = {}
+        anchors: list[_Anchor] = []
+
+        for _ in range(n_frames):
+            disp_idx = read_ue(reader)
+            ftype = _ID_TO_FRAME_TYPE[read_ue(reader)]
+            base_qp = read_ue(reader)
+            self.tracer.begin_frame(ftype.value, disp_idx)
+            recon = self._decode_frame(
+                reader, ftype, base_qp, disp_idx, anchors, n_mb_y, n_mb_x, pad_w
+            )
+            chroma: tuple[np.ndarray, np.ndarray] | None = None
+            if chroma_active:
+                chroma = self._decode_chroma(
+                    reader, chroma_shape, ftype, disp_idx, anchors, base_qp
+                )
+            if deblock_enabled:
+                recon, n_edges = deblock_plane(
+                    recon, base_qp, offset=deblock_offset
+                )
+                self.tracer.kernel("deblock", iters=n_edges)
+            decoded[disp_idx] = recon
+            decoded_chroma[disp_idx] = chroma
+            types[disp_idx] = ftype
+            qps[disp_idx] = base_qp
+            if ftype is not FrameType.B:
+                anchors.append(
+                    _Anchor(
+                        disp_idx,
+                        PaddedReference.from_plane(recon, _REF_PAD),
+                        chroma,
+                    )
+                )
+                anchors.sort(key=lambda a: a.display_index)
+
+        if sorted(decoded) != list(range(n_frames)):
+            raise ValueError("stream is missing frames")
+        frames = []
+        for i in range(n_frames):
+            chroma = decoded_chroma[i]
+            cropped = None
+            if chroma is not None:
+                cropped = (
+                    chroma[0][: chroma_shape[0], : chroma_shape[1]],
+                    chroma[1][: chroma_shape[0], : chroma_shape[1]],
+                )
+            frames.append(Frame(decoded[i][:height, :width], chroma=cropped))
+        return DecodeResult(
+            video=FrameSequence(frames=frames, fps=fps, name="decoded"),
+            frame_types=[types[i] for i in range(n_frames)],
+            frame_qps=[qps[i] for i in range(n_frames)],
+        )
+
+    def _decode_chroma(
+        self,
+        reader: BitReader,
+        shape: tuple[int, int],
+        ftype: FrameType,
+        disp_idx: int,
+        anchors: list[_Anchor],
+        base_qp: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Mirror of Encoder._encode_chroma."""
+        ref_chroma = None
+        if ftype is not FrameType.I:
+            past = [
+                a for a in anchors
+                if a.display_index < disp_idx and a.chroma is not None
+            ]
+            if past:
+                ref_chroma = max(past, key=lambda a: a.display_index).chroma
+        planes = []
+        for i in range(2):
+            prev = ref_chroma[i] if ref_chroma is not None else None
+            planes.append(decode_chroma_plane(reader, shape, prev, base_qp))
+        return (planes[0], planes[1])
+
+    # ------------------------------------------------------------------
+    def _decode_frame(
+        self,
+        reader: BitReader,
+        ftype: FrameType,
+        base_qp: int,
+        disp_idx: int,
+        anchors: list[_Anchor],
+        n_mb_y: int,
+        n_mb_x: int,
+        pad_w: int,
+    ) -> np.ndarray:
+        recon = np.zeros((n_mb_y * 16, pad_w), dtype=np.uint8)
+        past = [a for a in anchors if a.display_index < disp_idx]
+        past.sort(key=lambda a: -a.display_index)
+        future = [a for a in anchors if a.display_index > disp_idx]
+        ref_l1 = min(future, key=lambda a: a.display_index) if future else None
+        if not past and anchors:
+            past = [anchors[0]]
+        mv_grid: list[list[MotionVector | None]] = [
+            [None] * n_mb_x for _ in range(n_mb_y)
+        ]
+        for mb_y in range(n_mb_y):
+            for mb_x in range(n_mb_x):
+                self._decode_mb(
+                    reader, recon, mv_grid, mb_y, mb_x, base_qp, past, ref_l1
+                )
+        return recon
+
+    def _decode_mb(
+        self,
+        reader: BitReader,
+        recon: np.ndarray,
+        mv_grid: list[list[MotionVector | None]],
+        mb_y: int,
+        mb_x: int,
+        base_qp: int,
+        past: list[_Anchor],
+        ref_l1: _Anchor | None,
+    ) -> None:
+        y, x = mb_y * 16, mb_x * 16
+        mode_id = read_ue(reader)
+        pred_mv = self._predict_mv(mv_grid, mb_y, mb_x)
+
+        if mode_id == _SKIP:
+            if not past:
+                raise ValueError("SKIP macroblock with no reference available")
+            fx, fy = pred_mv.full_pel
+            pred = past[0].padded.block(y + fy, x + fx).astype(np.float64)
+            recon[y : y + 16, x : x + 16] = np.clip(np.round(pred), 0, 255).astype(
+                np.uint8
+            )
+            mv_grid[mb_y][mb_x] = pred_mv
+            return
+
+        if mode_id == _INTRA4:
+            qp = base_qp + read_se(reader)
+            self._decode_intra4(reader, recon, y, x, qp)
+            mv_grid[mb_y][mb_x] = None
+            return
+
+        mvs: list[MotionVector] = []
+        mv1: MotionVector | None = None
+        intra_mode = IntraMode.DC
+        if mode_id == _INTRA16:
+            intra_mode = IntraMode(read_ue(reader))
+        elif mode_id == _BI:
+            ref0 = read_ue(reader)
+            mvs = [
+                MotionVector(
+                    read_se(reader) + pred_mv.dx, read_se(reader) + pred_mv.dy, ref0
+                )
+            ]
+            mv1 = MotionVector(
+                read_se(reader) + pred_mv.dx, read_se(reader) + pred_mv.dy, 0
+            )
+        elif mode_id in (_INTER16, _INTER8, _INTER4):
+            ref = read_ue(reader)
+            n_mvs = {_INTER16: 1, _INTER8: 4, _INTER4: 16}[mode_id]
+            for _ in range(n_mvs):
+                mvs.append(
+                    MotionVector(
+                        read_se(reader) + pred_mv.dx,
+                        read_se(reader) + pred_mv.dy,
+                        ref,
+                    )
+                )
+        else:
+            raise ValueError(f"unsupported macroblock mode id {mode_id}")
+
+        qp = base_qp + read_se(reader)
+        levels = np.stack([decode_block(reader) for _ in range(16)])
+
+        if mode_id == _INTRA16:
+            prediction = predict_16x16(recon, y, x, intra_mode).astype(np.float64)
+        elif mode_id == _BI:
+            assert mv1 is not None and ref_l1 is not None
+            if mvs[0].ref >= len(past):
+                raise ValueError("BI macroblock references a missing anchor")
+            pred0 = fetch_prediction(past[mvs[0].ref].padded, y, x, mvs[0].dx, mvs[0].dy)
+            pred1 = fetch_prediction(ref_l1.padded, y, x, mv1.dx, mv1.dy)
+            prediction = (pred0 + pred1) / 2.0
+        else:
+            if mvs[0].ref >= len(past):
+                raise ValueError("inter macroblock references a missing anchor")
+            ref_plane = past[mvs[0].ref].padded
+            if mode_id == _INTER16:
+                prediction = fetch_prediction(ref_plane, y, x, mvs[0].dx, mvs[0].dy)
+            else:
+                size = 8 if mode_id == _INTER8 else 4
+                n = 16 // size
+                prediction = np.zeros((16, 16), dtype=np.float64)
+                for i, mv in enumerate(mvs):
+                    py, px = divmod(i, n)
+                    fx, fy = mv.full_pel
+                    prediction[
+                        py * size : (py + 1) * size, px * size : (px + 1) * size
+                    ] = ref_plane.block(
+                        y + py * size + fy, x + px * size + fx, size
+                    ).astype(np.float64)
+
+        residual = unblockify_16x16(inverse_4x4(dequantize(levels, qp)))
+        recon[y : y + 16, x : x + 16] = np.clip(
+            np.round(prediction + residual), 0, 255
+        ).astype(np.uint8)
+        mv_grid[mb_y][mb_x] = mvs[0] if mvs else None
+        if self.tracer.enabled:
+            # Decoding work: entropy parse + inverse transform + MC copy.
+            n_tokens = int(np.count_nonzero(levels))
+            self.tracer.kernel("entropy_coeff", iters=max(n_tokens, 1))
+            self.tracer.kernel("idct4", iters=16)
+            self.tracer.kernel("mc_copy", iters=16)
+
+    def _decode_intra4(
+        self, reader: BitReader, recon: np.ndarray, y0: int, x0: int, qp: int
+    ) -> None:
+        """Sequential 4x4 intra decoding (mirrors Encoder._emit_intra4)."""
+        for by in range(4):
+            for bx in range(4):
+                y = y0 + by * 4
+                x = x0 + bx * 4
+                mode = read_ue(reader)
+                levels = decode_block(reader)
+                pred = self._intra4_prediction(recon, y, x, mode)
+                recon4 = np.clip(
+                    np.round(pred + inverse_4x4(dequantize(levels[None], qp))[0]),
+                    0,
+                    255,
+                ).astype(np.uint8)
+                recon[y : y + 4, x : x + 4] = recon4
+
+    @staticmethod
+    def _intra4_prediction(
+        recon: np.ndarray, y: int, x: int, mode: int
+    ) -> np.ndarray:
+        top = recon[y - 1, x : x + 4].astype(np.float64) if y > 0 else None
+        left = recon[y : y + 4, x - 1].astype(np.float64) if x > 0 else None
+        if mode == 1 and top is not None:
+            return np.tile(top, (4, 1))
+        if mode == 2 and left is not None:
+            return np.tile(left[:, None], (1, 4))
+        if top is not None and left is not None:
+            dc = (top.sum() + left.sum()) / 8.0
+        elif top is not None:
+            dc = top.mean()
+        elif left is not None:
+            dc = left.mean()
+        else:
+            dc = 128.0
+        return np.full((4, 4), dc)
+
+    @staticmethod
+    def _predict_mv(
+        mv_grid: list[list[MotionVector | None]], mb_y: int, mb_x: int
+    ) -> MotionVector:
+        neighbors: list[MotionVector] = []
+        if mb_x > 0 and mv_grid[mb_y][mb_x - 1] is not None:
+            neighbors.append(mv_grid[mb_y][mb_x - 1])  # type: ignore[arg-type]
+        if mb_y > 0 and mv_grid[mb_y - 1][mb_x] is not None:
+            neighbors.append(mv_grid[mb_y - 1][mb_x])  # type: ignore[arg-type]
+        if (
+            mb_y > 0
+            and mb_x + 1 < len(mv_grid[0])
+            and mv_grid[mb_y - 1][mb_x + 1] is not None
+        ):
+            neighbors.append(mv_grid[mb_y - 1][mb_x + 1])  # type: ignore[arg-type]
+        if not neighbors:
+            return MotionVector(0, 0, 0)
+        dx = int(np.median([m.dx for m in neighbors]))
+        dy = int(np.median([m.dy for m in neighbors]))
+        return MotionVector(dx, dy, 0)
+
+
+def decode(bitstream: bytes, *, tracer: Tracer | None = None) -> DecodeResult:
+    """Convenience wrapper around :class:`Decoder`."""
+    return Decoder(tracer=tracer).decode(bitstream)

@@ -1,0 +1,1151 @@
+"""The encoder: orchestrates the full per-frame / per-macroblock pipeline.
+
+Pipeline per frame (decode order): rate control assigns a base QP; each
+16x16 macroblock runs motion estimation over every active reference frame
+(P/B), optional bi-prediction (B), sub-partition search, intra candidates,
+SKIP detection, then transform → (trellis) quantization → entropy coding
+→ reconstruction; finally the in-loop deblocking filter runs and the
+frame enters the reference picture buffer if it is an anchor.
+
+Every stage reports its invocation to the :class:`~repro.trace.recorder.Tracer`
+with the actual data addresses touched and the actual outcomes of its
+data-dependent branches, which is what makes the µarch characterization
+respond to crf/refs/preset/video exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.chroma import encode_chroma_plane
+from repro.codec.deblock import deblock_plane
+from repro.codec.entropy import BitWriter, encode_block, se_bits, ue_bits, write_se, write_ue
+from repro.codec.gop import GopPlan, plan_gop
+from repro.codec.intra import best_intra_16x16, predict_4x4_blocks
+from repro.codec.mbdecision import InterCandidate, choose_inter_ref, mv_bits, search_partitions
+from repro.codec.motion import PaddedReference, fetch_prediction
+from repro.codec.options import EncoderOptions
+from repro.codec.quant import dequantize, quantize, rd_lambda, trellis_quantize
+from repro.codec.ratecontrol import FirstPassStats, RateController
+from repro.codec.transform import blockify_16x16, forward_4x4, inverse_4x4, unblockify_16x16
+from repro.codec.types import (
+    CodedFrame,
+    CodedMacroblock,
+    CodedStream,
+    FrameStats,
+    FrameType,
+    IntraMode,
+    MBMode,
+    MotionVector,
+)
+from repro.trace.recorder import AddressMap, NullTracer, Tracer
+from repro.video.frame import FrameSequence
+from repro.video.metrics import bitrate_kbps, psnr_sequence
+
+__all__ = ["Encoder", "EncodeResult", "LoopOptimizations", "encode"]
+
+_MODE_IDS = {
+    MBMode.SKIP: 0,
+    MBMode.INTER_16X16: 1,
+    MBMode.INTER_8X8: 2,
+    MBMode.INTER_4X4: 3,
+    MBMode.BI: 4,
+    MBMode.INTRA_16X16: 5,
+    MBMode.INTRA_4X4: 6,
+    MBMode.INTRA_8X8: 7,
+}
+_FRAME_TYPE_IDS = {FrameType.I: 0, FrameType.P: 1, FrameType.B: 2}
+
+
+@dataclass(frozen=True)
+class LoopOptimizations:
+    """Polyhedral loop-transformation switches (produced by Graphite).
+
+    - ``tile_transform``: reuse one macroblock-sized coefficient scratch
+      buffer instead of streaming through a frame-sized one (loop tiling /
+      fusion of the transform→quant→entropy producer-consumer nests).
+    - ``fuse_deblock``: single fused pass over the plane instead of a
+      horizontal pass followed by a vertical pass (loop fusion).
+    - ``interchange_interp``: column-major → row-major traversal in the
+      subpel interpolation (loop interchange).
+    """
+
+    tile_transform: bool = False
+    fuse_deblock: bool = False
+    interchange_interp: bool = False
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.tile_transform or self.fuse_deblock or self.interchange_interp
+
+
+@dataclass
+class EncodeResult:
+    """Everything produced by one encoding run."""
+
+    stream: CodedStream
+    psnr_db: float
+    bitrate_kbps: float
+    encode_seconds: float
+    frame_stats: list[FrameStats]
+    gop: GopPlan
+    options: EncoderOptions
+    first_pass: FirstPassStats | None = None
+
+    @property
+    def total_bits(self) -> int:
+        return self.stream.total_bits
+
+
+@dataclass
+class _FrameContext:
+    """Per-frame working state shared by the MB loop."""
+
+    src: np.ndarray  # padded uint8
+    recon: np.ndarray  # padded uint8 (being built)
+    frame_type: FrameType
+    base_qp: int
+    refs_l0: list["_DpbEntry"] = field(default_factory=list)
+    ref_l1: "_DpbEntry | None" = None
+    mv_grid: list[list[MotionVector | None]] = field(default_factory=list)
+    mb_variances: np.ndarray | None = None
+    mean_variance: float = 0.0
+
+
+@dataclass
+class _DpbEntry:
+    """A decoded anchor picture held for reference."""
+
+    display_index: int
+    padded: PaddedReference
+    base_addr: int
+    chroma: tuple[np.ndarray, np.ndarray] | None = None
+
+
+class Encoder:
+    """Single-use-per-call encoder (stateless between :meth:`encode` calls)."""
+
+    def __init__(
+        self,
+        options: EncoderOptions,
+        *,
+        tracer: Tracer | None = None,
+        loop_opts: LoopOptimizations | None = None,
+    ) -> None:
+        self.options = options
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.loop_opts = loop_opts if loop_opts is not None else LoopOptimizations()
+
+    # ------------------------------------------------------------------
+    # public entry
+    # ------------------------------------------------------------------
+    def encode(self, video: FrameSequence) -> EncodeResult:
+        start_time = time.perf_counter()
+        options = self.options
+
+        first_pass: FirstPassStats | None = None
+        if options.rc_mode == "2pass-abr":
+            first_pass = self._run_first_pass(video)
+
+        sources = [f.padded_luma() for f in video]
+        pad_h, pad_w = sources[0].shape
+        gop = plan_gop(video, options)
+        self._trace_lookahead(video)
+
+        addr = AddressMap()
+        plane_bytes = pad_h * pad_w
+        n_mb_y, n_mb_x = pad_h // 16, pad_w // 16
+        n_mbs = n_mb_y * n_mb_x
+        # Input frame pool, DPB slots, coefficient scratch, bitstream.
+        # Each decoded input frame is a fresh buffer: reading it is
+        # compulsory-miss traffic, as in a real decode->encode pipeline.
+        src_bases = [addr.alloc(f"src{i}", plane_bytes) for i in range(len(video))]
+        dpb_bases = [
+            addr.alloc(f"dpb{i}", plane_bytes) for i in range(options.refs + 2)
+        ]
+        if self.loop_opts.tile_transform:
+            coeff_base = addr.alloc("coeff_mb", 16 * 16 * 4)
+            coeff_stride = 0  # every MB reuses the same scratch
+        else:
+            coeff_base = addr.alloc("coeff_frame", n_mbs * 16 * 16 * 4)
+            coeff_stride = 16 * 16 * 4
+        bs_base = addr.alloc("bitstream", 1 << 22)
+        self._addr = addr
+        self._coeff_base = coeff_base
+        self._coeff_stride = coeff_stride
+        self._bs_base = bs_base
+        self._pad_w = pad_w
+
+        rc = RateController(
+            options,
+            fps=video.fps,
+            n_mbs_per_frame=n_mbs,
+            first_pass=first_pass,
+        )
+
+        chroma_active = options.chroma and all(
+            f.chroma is not None for f in video
+        )
+        writer = BitWriter()
+        self._write_stream_header(writer, video, chroma_active)
+
+        coded_frames: list[CodedFrame] = []
+        frame_stats: list[FrameStats] = []
+        dpb: list[_DpbEntry] = []
+        dpb_slot = 0
+        pad = options.merange + 24
+
+        for disp_idx in gop.decode_order:
+            ftype = gop.frame_types[disp_idx]
+            src = sources[disp_idx]
+            self.tracer.begin_frame(ftype.value, disp_idx)
+            self._trace_frame_setup(src, src_bases[disp_idx])
+
+            complexity = self._frame_complexity(sources, disp_idx)
+            base_qp = rc.frame_qp(ftype, complexity)
+            ctx = self._make_context(src, ftype, base_qp, disp_idx, dpb, n_mb_y, n_mb_x)
+
+            bits_before = writer.bit_count
+            self._write_frame_header(writer, disp_idx, ftype, base_qp)
+            mbs = self._encode_frame_mbs(ctx, writer, rc, src_bases[disp_idx], dpb)
+            chroma_recon = None
+            if chroma_active:
+                chroma_recon = self._encode_chroma(
+                    writer, video[disp_idx], ftype, disp_idx, dpb, base_qp
+                )
+            frame_bits = writer.bit_count - bits_before
+
+            if options.deblock_enabled:
+                ctx.recon, n_edges = self._run_deblock(ctx.recon, base_qp)
+            rc.update(frame_bits)
+
+            coded_frames.append(
+                CodedFrame(
+                    index=disp_idx,
+                    frame_type=ftype,
+                    qp=base_qp,
+                    macroblocks=mbs,
+                    recon=ctx.recon,
+                    bits=frame_bits,
+                    chroma_recon=chroma_recon,
+                )
+            )
+            frame_stats.append(self._make_stats(ftype, base_qp, frame_bits, mbs))
+            self._trace_rc_update()
+
+            if ftype is not FrameType.B:
+                entry = _DpbEntry(
+                    display_index=disp_idx,
+                    padded=PaddedReference.from_plane(ctx.recon, pad),
+                    base_addr=dpb_bases[dpb_slot % len(dpb_bases)],
+                    chroma=chroma_recon,
+                )
+                dpb_slot += 1
+                dpb.append(entry)
+                dpb.sort(key=lambda e: e.display_index)
+                # Retain enough anchors for refs past + 1 future reference.
+                if len(dpb) > options.refs + 1:
+                    dpb.pop(0)
+
+        stream = CodedStream(
+            width=video.width,
+            height=video.height,
+            fps=video.fps,
+            frames=coded_frames,
+            bitstream=writer.getvalue(),
+        )
+        recon_video = FrameSequence.from_lumas(
+            [
+                f.recon[: video.height, : video.width]
+                for f in stream.frames_in_display_order()
+            ],
+            video.fps,
+            name=f"{video.name}:recon",
+        )
+        quality = psnr_sequence(video, recon_video)
+        rate = bitrate_kbps(writer.bit_count, len(video), video.fps)
+        return EncodeResult(
+            stream=stream,
+            psnr_db=quality,
+            bitrate_kbps=rate,
+            encode_seconds=time.perf_counter() - start_time,
+            frame_stats=frame_stats,
+            gop=gop,
+            options=options,
+            first_pass=first_pass,
+        )
+
+    # ------------------------------------------------------------------
+    # two-pass support
+    # ------------------------------------------------------------------
+    def _run_first_pass(self, video: FrameSequence) -> FirstPassStats:
+        """Fast first pass (untraced): measure per-frame complexity."""
+        fast = self.options.with_updates(
+            rc_mode="abr",
+            me="dia",
+            subme=min(self.options.subme, 2),
+            trellis=0,
+            refs=1,
+            preset_name=f"{self.options.preset_name}+pass1",
+        )
+        result = Encoder(fast).encode(video)
+        stats = FirstPassStats()
+        for frame in result.stream.frames:
+            stats.add(float(frame.bits))
+        return stats
+
+    # ------------------------------------------------------------------
+    # per-frame helpers
+    # ------------------------------------------------------------------
+    def _make_context(
+        self,
+        src: np.ndarray,
+        ftype: FrameType,
+        base_qp: int,
+        disp_idx: int,
+        dpb: list[_DpbEntry],
+        n_mb_y: int,
+        n_mb_x: int,
+    ) -> _FrameContext:
+        ctx = _FrameContext(
+            src=src,
+            recon=np.zeros_like(src),
+            frame_type=ftype,
+            base_qp=base_qp,
+        )
+        if ftype is not FrameType.I:
+            past = [e for e in dpb if e.display_index < disp_idx]
+            past.sort(key=lambda e: -e.display_index)  # most recent first
+            ctx.refs_l0 = past[: self.options.refs]
+            if not ctx.refs_l0 and dpb:
+                ctx.refs_l0 = [dpb[0]]
+        if ftype is FrameType.B:
+            future = [e for e in dpb if e.display_index > disp_idx]
+            ctx.ref_l1 = min(future, key=lambda e: e.display_index) if future else None
+        ctx.mv_grid = [[None] * n_mb_x for _ in range(n_mb_y)]
+        # Per-MB variance for adaptive quantization.
+        h16 = n_mb_y * 16
+        w16 = n_mb_x * 16
+        tiles = (
+            src[:h16, :w16]
+            .reshape(n_mb_y, 16, n_mb_x, 16)
+            .transpose(0, 2, 1, 3)
+            .astype(np.float64)
+        )
+        ctx.mb_variances = tiles.var(axis=(2, 3))
+        ctx.mean_variance = float(ctx.mb_variances.mean())
+        return ctx
+
+    def _frame_complexity(self, sources: list[np.ndarray], disp_idx: int) -> float:
+        if disp_idx == 0:
+            return float(np.mean(np.abs(np.diff(sources[0].astype(np.float64)))))
+        a = sources[disp_idx].astype(np.float64)
+        b = sources[disp_idx - 1].astype(np.float64)
+        return float(np.mean(np.abs(a - b)))
+
+    def _encode_frame_mbs(
+        self,
+        ctx: _FrameContext,
+        writer: BitWriter,
+        rc: RateController,
+        src_base: int,
+        dpb: list[_DpbEntry],
+    ) -> list[CodedMacroblock]:
+        mbs: list[CodedMacroblock] = []
+        n_mb_y = len(ctx.mv_grid)
+        n_mb_x = len(ctx.mv_grid[0])
+        skip_flags: list[bool] = []
+        intra_flags: list[bool] = []
+        for mb_y in range(n_mb_y):
+            for mb_x in range(n_mb_x):
+                mb = self._encode_mb(ctx, mb_y, mb_x, writer, rc, src_base, dpb)
+                mbs.append(mb)
+                skip_flags.append(mb.mode is MBMode.SKIP)
+                intra_flags.append(mb.mode.is_intra)
+        # Frame-level mode-decision branch history (sequence across MBs).
+        self.tracer.kernel(
+            "mode_decide",
+            iters=0,
+            branches={
+                "skip": np.array(skip_flags, dtype=bool),
+                "intra": np.array(intra_flags, dtype=bool),
+            },
+        )
+        return mbs
+
+    # ------------------------------------------------------------------
+    # macroblock encoding
+    # ------------------------------------------------------------------
+    def _encode_mb(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        writer: BitWriter,
+        rc: RateController,
+        src_base: int,
+        dpb: list[_DpbEntry],
+    ) -> CodedMacroblock:
+        options = self.options
+        y, x = mb_y * 16, mb_x * 16
+        src_mb = ctx.src[y : y + 16, x : x + 16]
+        assert ctx.mb_variances is not None
+        qp_mb = rc.mb_qp(
+            ctx.base_qp, float(ctx.mb_variances[mb_y, mb_x]), ctx.mean_variance
+        )
+        lam = rd_lambda(qp_mb)
+        pred_mv = self._predict_mv(ctx, mb_y, mb_x)
+
+        inter: InterCandidate | None = None
+        skip_candidate: np.ndarray | None = None
+        if ctx.frame_type is not FrameType.I and ctx.refs_l0:
+            inter, skip_candidate = self._search_inter(
+                ctx, mb_y, mb_x, src_mb, pred_mv, qp_mb
+            )
+
+        # SKIP check: prediction at the predicted MV whose residual
+        # quantizes to all-zero costs essentially nothing to code.
+        if skip_candidate is not None:
+            residual = src_mb.astype(np.float64) - skip_candidate
+            levels = trellis_quantize(
+                forward_4x4(blockify_16x16(residual)), qp_mb, level=0
+            )
+            if not np.any(levels):
+                return self._emit_skip(
+                    ctx, mb_y, mb_x, skip_candidate, qp_mb, pred_mv, writer, rc
+                )
+
+        intra_cand = self._search_intra(ctx, mb_y, mb_x, src_mb, qp_mb, inter)
+
+        # Mode decision: lowest distortion + lambda * rate wins.
+        choices: list[tuple[float, str]] = []
+        if inter is not None:
+            choices.append((inter.rd_cost(qp_mb), "inter"))
+        if intra_cand is not None:
+            choices.append((intra_cand[1], "intra"))
+        choices.sort()
+        use = choices[0][1]
+
+        if use == "intra" and intra_cand is not None and intra_cand[0].mode is MBMode.INTRA_4X4:
+            return self._emit_intra4(ctx, mb_y, mb_x, src_mb, qp_mb, writer, rc)
+        if use == "intra" and intra_cand is not None:
+            mode = MBMode.INTRA_16X16
+            prediction = intra_cand[2]
+            mvs: list[MotionVector] = []
+            mv1 = None
+            intra_mode = intra_cand[3]
+        else:
+            assert inter is not None
+            mode = inter.mode
+            prediction = np.asarray(inter.prediction, dtype=np.float64)
+            mvs = inter.mvs
+            mv1 = inter.mv1
+            intra_mode = IntraMode.DC
+
+        mb = self._transform_and_code(
+            ctx, mb_y, mb_x, src_mb, prediction, mode, mvs, mv1,
+            intra_mode, qp_mb, pred_mv, writer, rc,
+        )
+        return mb
+
+    # -- inter search ---------------------------------------------------
+    def _search_inter(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        src_mb: np.ndarray,
+        pred_mv: MotionVector,
+        qp_mb: int,
+    ) -> tuple[InterCandidate, np.ndarray | None]:
+        options = self.options
+        y, x = mb_y * 16, mb_x * 16
+        refs = [e.padded for e in ctx.refs_l0]
+        best, ref_idx, n_points, _positions = choose_inter_ref(
+            src_mb, refs, y, x, pred_mv, options, qp_mb
+        )
+        self._trace_me(ctx, mb_y, mb_x, best, n_points, len(refs))
+
+        mv = MotionVector(best.mv_x, best.mv_y, ref_idx)
+        ref = refs[ref_idx]
+        prediction = fetch_prediction(ref, y, x, mv.dx, mv.dy)
+        if mv.dx % 4 != 0 or mv.dy % 4 != 0:
+            self._trace_interp(ctx, mb_y, mb_x, ref_idx)
+        rate = mv_bits(mv, pred_mv) + ue_bits(_MODE_IDS[MBMode.INTER_16X16])
+        candidate = InterCandidate(
+            mode=MBMode.INTER_16X16,
+            mvs=[mv],
+            prediction=prediction,
+            distortion=best.cost,
+            rate_bits=rate,
+            n_search_points=n_points,
+            positions=best.positions,
+        )
+
+        # Sub-partition candidates (Table II `partitions`).
+        part8 = search_partitions(
+            src_mb, ref, y, x, mv, pred_mv, options, size=8
+        )
+        part_flags = []
+        if part8 is not None:
+            self._trace_partition_search(ctx, mb_y, mb_x, part8)
+            better = part8.rd_cost(qp_mb) < candidate.rd_cost(qp_mb)
+            part_flags.append(better)
+            if better:
+                candidate = part8
+                part4 = search_partitions(
+                    src_mb, ref, y, x, mv, pred_mv, options, size=4
+                )
+                if part4 is not None:
+                    self._trace_partition_search(ctx, mb_y, mb_x, part4)
+                    better4 = part4.rd_cost(qp_mb) < candidate.rd_cost(qp_mb)
+                    part_flags.append(better4)
+                    if better4:
+                        candidate = part4
+        if part_flags:
+            self.tracer.kernel(
+                "mode_decide",
+                iters=len(part_flags),
+                branches={"part_split": np.array(part_flags, dtype=bool)},
+            )
+
+        # B-frame: try the future reference and bi-prediction.
+        if ctx.frame_type is FrameType.B and ctx.ref_l1 is not None:
+            candidate = self._try_bi(ctx, mb_y, mb_x, src_mb, pred_mv, qp_mb, candidate)
+
+        # The SKIP candidate is the L0 ref-0 block at the predicted MV.
+        skip_pred: np.ndarray | None = None
+        if ctx.frame_type is FrameType.P:
+            fx, fy = pred_mv.full_pel
+            skip_pred = refs[0].block(y + fy, x + fx).astype(np.float64)
+        return candidate, skip_pred
+
+    def _try_bi(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        src_mb: np.ndarray,
+        pred_mv: MotionVector,
+        qp_mb: int,
+        candidate: InterCandidate,
+    ) -> InterCandidate:
+        assert ctx.ref_l1 is not None
+        options = self.options
+        y, x = mb_y * 16, mb_x * 16
+        l1 = ctx.ref_l1.padded
+        best1, _, n_points1, _ = choose_inter_ref(
+            src_mb, [l1], y, x, pred_mv, options, qp_mb
+        )
+        self._trace_me(ctx, mb_y, mb_x, best1, n_points1, 1, l1_search=True)
+        mv1 = MotionVector(best1.mv_x, best1.mv_y, 0)
+        pred1 = fetch_prediction(l1, y, x, mv1.dx, mv1.dy)
+        # Bi-prediction: average of the L0 16x16 prediction (recomputed
+        # strictly from the coded MV so the decoder can reproduce it) and
+        # the L1 prediction.
+        mv0 = candidate.mvs[0]
+        l0 = ctx.refs_l0[mv0.ref].padded
+        pred0 = fetch_prediction(l0, y, x, mv0.dx, mv0.dy)
+        bi_pred = (pred0 + pred1) / 2.0
+        bi_dist = float(np.sum(np.abs(src_mb.astype(np.float64) - bi_pred)))
+        bi_rate = (
+            mv_bits(mv0, pred_mv) + mv_bits(mv1, pred_mv) + ue_bits(_MODE_IDS[MBMode.BI])
+        )
+        bi = InterCandidate(
+            mode=MBMode.BI,
+            mvs=[mv0],
+            prediction=bi_pred,
+            distortion=bi_dist,
+            rate_bits=bi_rate,
+            n_search_points=n_points1,
+            positions=[],
+            mv1=mv1,
+        )
+        if bi.rd_cost(qp_mb) < candidate.rd_cost(qp_mb):
+            return bi
+        return candidate
+
+    # -- intra search ---------------------------------------------------
+    def _search_intra(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        src_mb: np.ndarray,
+        qp_mb: int,
+        inter: InterCandidate | None,
+    ) -> tuple | None:
+        """Returns (pseudo-candidate, rd_cost, prediction, intra_mode).
+
+        The INTRA_4X4 candidate is only *scored* here; if it wins, the MB
+        is re-encoded by :meth:`_emit_intra4` (true sequential coding).
+        """
+        options = self.options
+        y, x = mb_y * 16, mb_x * 16
+        # Skip the intra search entirely when inter prediction is already
+        # excellent (x264's early-out), except on I frames.
+        if (
+            inter is not None
+            and ctx.frame_type is not FrameType.I
+            and inter.distortion < 16 * 16 * 1.5
+        ):
+            return None
+        i16 = best_intra_16x16(src_mb, ctx.recon, y, x)
+        self._trace_intra16(ctx, mb_y, mb_x)
+        rate16 = ue_bits(_MODE_IDS[MBMode.INTRA_16X16]) + ue_bits(int(i16.mode))
+        cost16 = i16.sad + rd_lambda(qp_mb) * rate16
+
+        best_mode = MBMode.INTRA_16X16
+        best_cost = cost16
+        if "i4x4" in options.partition_candidates:
+            # Quick i4x4 probe: per-4x4 DC/V/H from source neighbors.
+            pred4, sad4, modes_tried = predict_4x4_blocks(src_mb, ctx.recon, y, x)
+            self._trace_intra4(ctx, mb_y, mb_x, modes_tried)
+            rate4 = ue_bits(_MODE_IDS[MBMode.INTRA_4X4]) + 16 * 3
+            cost4 = sad4 + rd_lambda(qp_mb) * rate4
+            if cost4 < best_cost:
+                best_mode = MBMode.INTRA_4X4
+                best_cost = cost4
+
+        class _C:  # tiny namespace standing in for InterCandidate
+            mode = best_mode
+
+        return (_C, best_cost, i16.prediction.astype(np.float64), i16.mode)
+
+    # -- emit paths -------------------------------------------------------
+    def _emit_skip(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        prediction: np.ndarray,
+        qp_mb: int,
+        pred_mv: MotionVector,
+        writer: BitWriter,
+        rc: RateController,
+    ) -> CodedMacroblock:
+        bits_before = writer.bit_count
+        write_ue(writer, _MODE_IDS[MBMode.SKIP])
+        bits = writer.bit_count - bits_before
+        y, x = mb_y * 16, mb_x * 16
+        recon_mb = np.clip(np.round(prediction), 0, 255).astype(np.uint8)
+        ctx.recon[y : y + 16, x : x + 16] = recon_mb
+        ctx.mv_grid[mb_y][mb_x] = pred_mv
+        rc.note_mb_bits(bits)
+        self._trace_entropy_header(ctx, mb_y, mb_x, bits)
+        self._trace_recon_write(ctx, mb_y, mb_x)
+        return CodedMacroblock(
+            mb_x=mb_x, mb_y=mb_y, mode=MBMode.SKIP, qp=qp_mb,
+            mvs=[pred_mv], bits=bits,
+        )
+
+    def _emit_intra4(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        src_mb: np.ndarray,
+        qp_mb: int,
+        writer: BitWriter,
+        rc: RateController,
+    ) -> CodedMacroblock:
+        """True sequential intra-4x4 coding (decodable)."""
+        y0, x0 = mb_y * 16, mb_x * 16
+        bits_before = writer.bit_count
+        write_ue(writer, _MODE_IDS[MBMode.INTRA_4X4])
+        write_se(writer, qp_mb - ctx.base_qp)
+        levels_all = np.zeros((16, 4, 4), dtype=np.int32)
+        modes4: list[int] = []
+        total_modes_tried = 0
+        for by in range(4):
+            for bx in range(4):
+                y = y0 + by * 4
+                x = x0 + bx * 4
+                src4 = src_mb[by * 4 : by * 4 + 4, bx * 4 : bx * 4 + 4]
+                mode, pred = self._best_intra4_block(ctx.recon, src4, y, x)
+                total_modes_tried += 3
+                modes4.append(int(mode))
+                write_ue(writer, int(mode))
+                residual = src4.astype(np.float64) - pred
+                coeffs = forward_4x4(residual[None])[0]
+                levels = trellis_quantize(
+                    coeffs[None], qp_mb, level=self.options.trellis
+                )[0]
+                levels_all[by * 4 + bx] = levels
+                encode_block(writer, levels)
+                recon4 = np.clip(
+                    np.round(pred + inverse_4x4(dequantize(levels[None], qp_mb))[0]),
+                    0,
+                    255,
+                ).astype(np.uint8)
+                ctx.recon[y : y + 4, x : x + 4] = recon4
+        bits = writer.bit_count - bits_before
+        ctx.mv_grid[mb_y][mb_x] = None
+        rc.note_mb_bits(bits)
+        self._trace_intra4(ctx, mb_y, mb_x, total_modes_tried)
+        self._trace_transform_path(ctx, mb_y, mb_x, levels_all, qp_mb)
+        self._trace_entropy_coeffs(ctx, mb_y, mb_x, levels_all, bits)
+        self._trace_recon_write(ctx, mb_y, mb_x)
+        return CodedMacroblock(
+            mb_x=mb_x, mb_y=mb_y, mode=MBMode.INTRA_4X4, qp=qp_mb,
+            intra_modes4=modes4, coeffs=levels_all, bits=bits,
+        )
+
+    @staticmethod
+    def _best_intra4_block(
+        recon: np.ndarray, src4: np.ndarray, y: int, x: int
+    ) -> tuple[int, np.ndarray]:
+        """DC(0) / V(1) / H(2) for one 4x4 block from reconstructed pixels."""
+        top = recon[y - 1, x : x + 4].astype(np.float64) if y > 0 else None
+        left = recon[y : y + 4, x - 1].astype(np.float64) if x > 0 else None
+        if top is not None and left is not None:
+            dc = (top.sum() + left.sum()) / 8.0
+        elif top is not None:
+            dc = top.mean()
+        elif left is not None:
+            dc = left.mean()
+        else:
+            dc = 128.0
+        candidates: list[tuple[int, np.ndarray]] = [(0, np.full((4, 4), dc))]
+        if top is not None:
+            candidates.append((1, np.tile(top, (4, 1))))
+        if left is not None:
+            candidates.append((2, np.tile(left[:, None], (1, 4))))
+        src = src4.astype(np.float64)
+        best_mode, best_pred, best_sad = 0, candidates[0][1], np.inf
+        for mode, pred in candidates:
+            sad = float(np.sum(np.abs(src - pred)))
+            if sad < best_sad:
+                best_mode, best_pred, best_sad = mode, pred, sad
+        return best_mode, best_pred
+
+    def _transform_and_code(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        src_mb: np.ndarray,
+        prediction: np.ndarray,
+        mode: MBMode,
+        mvs: list[MotionVector],
+        mv1: MotionVector | None,
+        intra_mode: IntraMode,
+        qp_mb: int,
+        pred_mv: MotionVector,
+        writer: BitWriter,
+        rc: RateController,
+    ) -> CodedMacroblock:
+        options = self.options
+        y, x = mb_y * 16, mb_x * 16
+        residual = src_mb.astype(np.float64) - prediction
+        blocks = blockify_16x16(residual)
+        coeffs = forward_4x4(blocks)
+        levels = trellis_quantize(coeffs, qp_mb, level=options.trellis)
+
+        bits_before = writer.bit_count
+        write_ue(writer, _MODE_IDS[mode])
+        if mode is MBMode.INTRA_16X16:
+            write_ue(writer, int(intra_mode))
+        elif mode is MBMode.BI:
+            assert mv1 is not None
+            write_ue(writer, mvs[0].ref)
+            write_se(writer, mvs[0].dx - pred_mv.dx)
+            write_se(writer, mvs[0].dy - pred_mv.dy)
+            write_se(writer, mv1.dx - pred_mv.dx)
+            write_se(writer, mv1.dy - pred_mv.dy)
+        else:  # INTER_16X16 / INTER_8X8 / INTER_4X4
+            write_ue(writer, mvs[0].ref)
+            for mv in mvs:
+                write_se(writer, mv.dx - pred_mv.dx)
+                write_se(writer, mv.dy - pred_mv.dy)
+        write_se(writer, qp_mb - ctx.base_qp)
+        for block in levels:
+            encode_block(writer, block)
+        bits = writer.bit_count - bits_before
+
+        recon_blocks = inverse_4x4(dequantize(levels, qp_mb))
+        recon_mb = np.clip(
+            np.round(prediction + unblockify_16x16(recon_blocks)), 0, 255
+        ).astype(np.uint8)
+        ctx.recon[y : y + 16, x : x + 16] = recon_mb
+        ctx.mv_grid[mb_y][mb_x] = mvs[0] if mvs else None
+        rc.note_mb_bits(bits)
+
+        self._trace_transform_path(ctx, mb_y, mb_x, levels, qp_mb, coeffs)
+        self._trace_entropy_coeffs(ctx, mb_y, mb_x, levels, bits)
+        self._trace_recon_write(ctx, mb_y, mb_x)
+        return CodedMacroblock(
+            mb_x=mb_x, mb_y=mb_y, mode=mode, qp=qp_mb, intra_mode=intra_mode,
+            mvs=mvs, mv1=mv1, coeffs=levels, bits=bits,
+        )
+
+    # ------------------------------------------------------------------
+    # MV prediction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _predict_mv(ctx: _FrameContext, mb_y: int, mb_x: int) -> MotionVector:
+        """Median MV predictor from left / top / top-right neighbors."""
+        neighbors: list[MotionVector] = []
+        grid = ctx.mv_grid
+        if mb_x > 0 and grid[mb_y][mb_x - 1] is not None:
+            neighbors.append(grid[mb_y][mb_x - 1])  # type: ignore[arg-type]
+        if mb_y > 0 and grid[mb_y - 1][mb_x] is not None:
+            neighbors.append(grid[mb_y - 1][mb_x])  # type: ignore[arg-type]
+        if mb_y > 0 and mb_x + 1 < len(grid[0]) and grid[mb_y - 1][mb_x + 1] is not None:
+            neighbors.append(grid[mb_y - 1][mb_x + 1])  # type: ignore[arg-type]
+        if not neighbors:
+            return MotionVector(0, 0, 0)
+        dx = int(np.median([m.dx for m in neighbors]))
+        dy = int(np.median([m.dy for m in neighbors]))
+        return MotionVector(dx, dy, 0)
+
+    # ------------------------------------------------------------------
+    # stream syntax
+    # ------------------------------------------------------------------
+    def _write_stream_header(
+        self, writer: BitWriter, video: FrameSequence, chroma_active: bool
+    ) -> None:
+        write_ue(writer, video.width)
+        write_ue(writer, video.height)
+        write_ue(writer, int(round(video.fps * 1000)))
+        write_ue(writer, len(video))
+        write_ue(writer, 1 if self.options.deblock_enabled else 0)
+        write_se(writer, self.options.deblock[1])
+        write_ue(writer, 1 if chroma_active else 0)
+
+    def _encode_chroma(
+        self,
+        writer: BitWriter,
+        frame,
+        ftype: FrameType,
+        disp_idx: int,
+        dpb: list[_DpbEntry],
+        base_qp: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Code both chroma planes; returns their reconstructions."""
+        assert frame.chroma is not None
+        ref_chroma: tuple[np.ndarray, np.ndarray] | None = None
+        if ftype is not FrameType.I:
+            past = [
+                e for e in dpb
+                if e.display_index < disp_idx and e.chroma is not None
+            ]
+            if past:
+                ref_chroma = max(past, key=lambda e: e.display_index).chroma
+        recons = []
+        for i, plane in enumerate(frame.chroma):
+            prev = ref_chroma[i] if ref_chroma is not None else None
+            recons.append(
+                encode_chroma_plane(
+                    writer, plane, prev, base_qp, trellis=self.options.trellis
+                )
+            )
+            if self.tracer.enabled:
+                n_blocks = (plane.shape[0] // 8 + 1) * (plane.shape[1] // 8 + 1)
+                self.tracer.kernel("dct4", iters=n_blocks * 4)
+                self.tracer.kernel("quant", iters=n_blocks * 4)
+                self.tracer.kernel("mc_copy", iters=n_blocks * 8)
+        return (recons[0], recons[1])
+
+    @staticmethod
+    def _write_frame_header(
+        writer: BitWriter, disp_idx: int, ftype: FrameType, qp: int
+    ) -> None:
+        write_ue(writer, disp_idx)
+        write_ue(writer, _FRAME_TYPE_IDS[ftype])
+        write_ue(writer, qp)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_stats(
+        ftype: FrameType, qp: int, bits: int, mbs: list[CodedMacroblock]
+    ) -> FrameStats:
+        return FrameStats(
+            frame_type=ftype,
+            qp=qp,
+            bits=bits,
+            sad=0.0,
+            skip_mbs=sum(1 for m in mbs if m.mode is MBMode.SKIP),
+            intra_mbs=sum(1 for m in mbs if m.mode.is_intra),
+            inter_mbs=sum(1 for m in mbs if m.mode.is_inter),
+        )
+
+    # ------------------------------------------------------------------
+    # trace emission (addresses + data-dependent branches)
+    # ------------------------------------------------------------------
+    def _row_addrs(self, base: int, y: int, x: int, rows: int, width: int) -> np.ndarray:
+        """Byte addresses covering ``rows`` rows of ``width`` pixels."""
+        row_idx = (np.arange(rows) + y) * self._pad_w + x
+        starts = base + row_idx
+        # Touch the first and last byte of each row span (line granularity
+        # is resolved by the cache model).
+        return np.concatenate([starts, starts + width - 1]).astype(np.uint64)
+
+    def _trace_lookahead(self, video: FrameSequence) -> None:
+        if not self.tracer.enabled:
+            return
+        rows = video.height // 2
+        for i in range(len(video)):
+            base = self._lookahead_base(i)
+            addrs = (base + np.arange(rows) * (video.width // 2)).astype(np.uint64)
+            self.tracer.kernel("lookahead", iters=rows, reads=addrs)
+
+    @staticmethod
+    def _lookahead_base(index: int) -> int:
+        return 0x0800_0000 + (index % 8) * (1 << 20)
+
+    def _trace_frame_setup(self, src: np.ndarray, src_base: int) -> None:
+        if not self.tracer.enabled:
+            return
+        rows = src.shape[0]
+        # Sample every 4th row (pure streaming copy).
+        addrs = (src_base + np.arange(0, rows, 4) * self._pad_w).astype(np.uint64)
+        self.tracer.kernel("frame_setup", iters=rows, reads=addrs, writes=addrs)
+
+    def _trace_me(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        result,
+        n_points: int,
+        n_refs: int,
+        *,
+        l1_search: bool = False,
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        # Search-window footprint per reference: the bounding box of the
+        # visited positions, touched at row granularity.
+        if result.positions:
+            dxs = [p[0] for p in result.positions]
+            dys = [p[1] for p in result.positions]
+            x_lo, x_hi = min(dxs), max(dxs) + 16
+            y_lo, y_hi = min(dys), max(dys) + 16
+        else:
+            x_lo, x_hi, y_lo, y_hi = 0, 16, 0, 16
+        read_list = []
+        refs = [ctx.ref_l1] if l1_search else ctx.refs_l0
+        for entry in refs[:n_refs]:
+            if entry is None:
+                continue
+            read_list.append(
+                self._row_addrs(
+                    entry.base_addr, y + y_lo, max(x + x_lo, 0), y_hi - y_lo, x_hi - x_lo
+                )
+            )
+        reads = np.concatenate(read_list) if read_list else None
+        branches = {}
+        if result.improvements:
+            branches["improve"] = np.array(result.improvements, dtype=bool)
+        self.tracer.kernel(
+            "me_sad",
+            iters=n_points * 16,
+            reads=reads,
+            branches=branches or None,
+        )
+
+    def _trace_interp(self, ctx: _FrameContext, mb_y: int, mb_x: int, ref_idx: int) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        entry = ctx.refs_l0[ref_idx] if ref_idx < len(ctx.refs_l0) else None
+        if entry is None:
+            return
+        if self.loop_opts.interchange_interp:
+            # Row-major traversal: consecutive addresses within a row.
+            reads = self._row_addrs(entry.base_addr, y, x, 17, 17)
+        else:
+            # Column-major traversal: one touch per row per column-pair
+            # walk (the filter consumes two columns per vector iteration)
+            # — strided, same bytes but poor spatial order.
+            cols = np.arange(0, 17, 2)
+            rows = np.arange(17)
+            addrs = entry.base_addr + (
+                (rows[None, :] + y) * self._pad_w + (cols[:, None] + x)
+            )
+            reads = addrs.ravel().astype(np.uint64)
+        scratch = self._addr.alloc("interp_scratch", 32 * 32)
+        writes = (scratch + np.arange(17) * 32).astype(np.uint64)
+        self.tracer.kernel("me_interp", iters=17, reads=reads, writes=writes)
+
+    def _trace_partition_search(self, ctx, mb_y: int, mb_x: int, cand) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.kernel("me_sad", iters=cand.n_search_points * 8)
+        self.tracer.kernel("mode_decide", iters=len(cand.mvs))
+
+    def _trace_intra16(self, ctx: _FrameContext, mb_y: int, mb_x: int) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        base = self._addr.alloc("recon_work", ctx.recon.size)
+        reads = self._row_addrs(base, max(y - 1, 0), max(x - 1, 0), 17, 17)
+        self.tracer.kernel("intra_pred16", iters=4, reads=reads)
+
+    def _trace_intra4(self, ctx: _FrameContext, mb_y: int, mb_x: int, modes: int) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        base = self._addr.alloc("recon_work", ctx.recon.size)
+        reads = self._row_addrs(base, max(y - 1, 0), max(x - 1, 0), 17, 17)
+        self.tracer.kernel("intra_pred4", iters=modes, reads=reads)
+
+    def _coeff_addr(self, ctx: _FrameContext, mb_y: int, mb_x: int) -> np.ndarray:
+        n_mb_x = len(ctx.mv_grid[0])
+        mb_index = mb_y * n_mb_x + mb_x
+        base = self._coeff_base + mb_index * self._coeff_stride
+        # 16 blocks x 64 bytes each.
+        return (base + np.arange(16) * 64).astype(np.uint64)
+
+    def _trace_transform_path(
+        self,
+        ctx: _FrameContext,
+        mb_y: int,
+        mb_x: int,
+        levels: np.ndarray,
+        qp_mb: int,
+        coeffs: np.ndarray | None = None,
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        src_base = self._addr.alloc("src_work", ctx.src.size)
+        src_reads = self._row_addrs(src_base, y, x, 16, 16)
+        coeff_addrs = self._coeff_addr(ctx, mb_y, mb_x)
+        self.tracer.kernel("dct4", iters=16, reads=src_reads, writes=coeff_addrs)
+        nz_flags = (levels.reshape(16, -1) != 0).ravel()
+        self.tracer.kernel(
+            "quant",
+            iters=16,
+            reads=coeff_addrs,
+            writes=coeff_addrs,
+            branches={"nz": nz_flags},
+        )
+        if self.options.trellis > 0:
+            n_nz = int(np.count_nonzero(levels))
+            visited = 16 * 16 if self.options.trellis == 2 else max(n_nz * 4, 16)
+            # Real RD decisions: which plainly-quantized coefficients did
+            # the trellis pass demote or zero out?
+            if coeffs is not None:
+                plain = quantize(coeffs, qp_mb)
+                changed = (plain != levels)[plain != 0]
+                zeroed = changed if changed.size else np.zeros(1, dtype=bool)
+            else:
+                zeroed = np.zeros(max(n_nz, 1), dtype=bool)
+            self.tracer.kernel(
+                "trellis",
+                iters=visited,
+                reads=coeff_addrs,
+                branches={"zeroed": zeroed},
+            )
+        self.tracer.kernel("idct4", iters=16, reads=coeff_addrs)
+
+    def _trace_entropy_coeffs(
+        self, ctx: _FrameContext, mb_y: int, mb_x: int, levels: np.ndarray, bits: int
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        coeff_addrs = self._coeff_addr(ctx, mb_y, mb_x)
+        flat = levels.reshape(-1)
+        sig = flat != 0
+        n_tokens = int(sig.sum())
+        # Value-dependent coding branches: level-magnitude escape paths at
+        # each exp-Golomb prefix boundary. Their volatility tracks the
+        # coefficient statistics — rich residuals (low crf) drive the
+        # higher thresholds erratically, coarse quantization leaves few,
+        # heavily-biased outcomes.
+        if n_tokens:
+            mags = np.abs(flat[sig])
+            big = np.concatenate([mags > t for t in (1, 3, 7)])
+        else:
+            big = np.zeros(1, dtype=bool)
+        bs_addrs = (
+            self._bs_base + (np.arange(max(bits // 8, 1)) % (1 << 22))
+        ).astype(np.uint64)[:: max(1, bits // 64)]
+        self.tracer.kernel(
+            "entropy_coeff",
+            iters=max(n_tokens, 1),
+            reads=coeff_addrs,
+            writes=bs_addrs,
+            branches={"sig": sig, "big": big},
+        )
+        self._trace_entropy_header(ctx, mb_y, mb_x, bits)
+
+    def _trace_entropy_header(self, ctx, mb_y: int, mb_x: int, bits: int) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.kernel("entropy_header", iters=1)
+
+    def _trace_recon_write(self, ctx: _FrameContext, mb_y: int, mb_x: int) -> None:
+        if not self.tracer.enabled:
+            return
+        y, x = mb_y * 16, mb_x * 16
+        base = self._addr.alloc("recon_work", ctx.recon.size)
+        writes = self._row_addrs(base, y, x, 16, 16)
+        self.tracer.kernel("mc_copy", iters=16, writes=writes)
+
+    def _run_deblock(self, recon: np.ndarray, qp: int) -> tuple[np.ndarray, int]:
+        filtered, n_edges = deblock_plane(recon, qp, offset=self.options.deblock[1])
+        if self.tracer.enabled:
+            base = self._addr.alloc("recon_work", recon.size)
+            rows = recon.shape[0]
+            row_addrs = (base + np.arange(0, rows, 2) * self._pad_w).astype(np.uint64)
+            edge_mask = self._deblock_branches(recon, filtered)
+            if self.loop_opts.fuse_deblock:
+                # Fused single pass: each row region touched once.
+                self.tracer.kernel(
+                    "deblock",
+                    iters=n_edges,
+                    reads=row_addrs,
+                    writes=row_addrs,
+                    branches={"filtered": edge_mask},
+                )
+            else:
+                # Two separate full-plane passes (horizontal then vertical).
+                self.tracer.kernel(
+                    "deblock",
+                    iters=n_edges // 2,
+                    reads=row_addrs,
+                    writes=row_addrs,
+                    branches={"filtered": edge_mask[: edge_mask.size // 2]},
+                )
+                self.tracer.kernel(
+                    "deblock",
+                    iters=n_edges - n_edges // 2,
+                    reads=row_addrs,
+                    writes=row_addrs,
+                    branches={"filtered": edge_mask[edge_mask.size // 2 :]},
+                )
+        return filtered, n_edges
+
+    @staticmethod
+    def _deblock_branches(before: np.ndarray, after: np.ndarray) -> np.ndarray:
+        """Which 4-aligned edge rows actually changed (filter-taken flags)."""
+        changed = before[::4, ::4] != after[::4, ::4]
+        return changed.ravel()
+
+    def _trace_rc_update(self) -> None:
+        if self.tracer.enabled:
+            self.tracer.kernel("rc_update", iters=1)
+
+
+def encode(
+    video: FrameSequence,
+    options: EncoderOptions | None = None,
+    *,
+    tracer: Tracer | None = None,
+    loop_opts: LoopOptimizations | None = None,
+) -> EncodeResult:
+    """Convenience wrapper: encode ``video`` with ``options``."""
+    return Encoder(
+        options if options is not None else EncoderOptions(),
+        tracer=tracer,
+        loop_opts=loop_opts,
+    ).encode(video)

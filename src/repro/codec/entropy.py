@@ -1,0 +1,195 @@
+"""Entropy coding: exp-Golomb bit I/O and run-level coefficient coding.
+
+This is a *real, decodable* entropy layer: the encoder writes every
+macroblock's syntax elements (mode, MVs, QP delta, coefficients) through
+:class:`BitWriter`, and :class:`BitReader` parses them back bit-exactly.
+Coefficients use zigzag run-level coding with signed exp-Golomb codes — a
+genuine (H.263-era) scheme that preserves the property the paper's
+characterization depends on: the bit cost and the branchiness of coding
+scale with the number and magnitude of surviving coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.transform import ZIGZAG_4X4
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "write_ue",
+    "read_ue",
+    "write_se",
+    "read_se",
+    "ue_bits",
+    "se_bits",
+    "encode_block",
+    "decode_block",
+    "block_bits",
+]
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._cur = 0
+        self._nbits = 0
+        self.bit_count = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._cur = (self._cur << 1) | (bit & 1)
+        self._nbits += 1
+        self.bit_count += 1
+        if self._nbits == 8:
+            self._bytes.append(self._cur)
+            self._cur = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """Byte-aligned contents (zero padded in the final byte)."""
+        out = bytearray(self._bytes)
+        if self._nbits:
+            out.append(self._cur << (8 - self._nbits))
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_read(self) -> int:
+        return self._pos
+
+    def read_bit(self) -> int:
+        byte_i, bit_i = divmod(self._pos, 8)
+        if byte_i >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        self._pos += 1
+        return (self._data[byte_i] >> (7 - bit_i)) & 1
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+
+def write_ue(writer: BitWriter, value: int) -> None:
+    """Unsigned exp-Golomb code."""
+    if value < 0:
+        raise ValueError(f"ue() requires value >= 0, got {value}")
+    code = value + 1
+    width = code.bit_length()
+    writer.write_bits(0, width - 1)
+    writer.write_bits(code, width)
+
+
+def read_ue(reader: BitReader) -> int:
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+        if zeros > 64:
+            raise ValueError("malformed exp-Golomb code (leading zeros > 64)")
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value - 1
+
+
+def write_se(writer: BitWriter, value: int) -> None:
+    """Signed exp-Golomb code (0, 1, -1, 2, -2, ... mapping)."""
+    write_ue(writer, (2 * value - 1) if value > 0 else (-2 * value))
+
+
+def read_se(reader: BitReader) -> int:
+    code = read_ue(reader)
+    magnitude = (code + 1) // 2
+    return magnitude if code % 2 == 1 else -magnitude
+
+
+def ue_bits(value: int) -> int:
+    """Bit cost of ue(value) without writing."""
+    if value < 0:
+        raise ValueError("ue cost requires value >= 0")
+    return 2 * (value + 1).bit_length() - 1
+
+
+def se_bits(value: int) -> int:
+    """Bit cost of se(value) without writing."""
+    return ue_bits((2 * value - 1) if value > 0 else (-2 * value))
+
+
+def _zigzag(block: np.ndarray) -> np.ndarray:
+    return block[ZIGZAG_4X4]
+
+
+def _unzigzag(scan: np.ndarray) -> np.ndarray:
+    block = np.zeros((4, 4), dtype=np.int32)
+    block[ZIGZAG_4X4] = scan
+    return block
+
+
+def encode_block(writer: BitWriter, block: np.ndarray) -> int:
+    """Run-level encode one 4x4 integer block; returns bits written.
+
+    Syntax: ue(n_nonzero), then per nonzero coefficient in zigzag order
+    ue(zero run before it) and se(level).
+    """
+    if block.shape != (4, 4):
+        raise ValueError(f"expected 4x4 block, got {block.shape}")
+    start = writer.bit_count
+    scan = _zigzag(np.asarray(block, dtype=np.int64))
+    nz_positions = np.nonzero(scan)[0]
+    write_ue(writer, len(nz_positions))
+    prev = -1
+    for pos in nz_positions:
+        write_ue(writer, int(pos - prev - 1))  # zero run
+        write_se(writer, int(scan[pos]))
+        prev = int(pos)
+    return writer.bit_count - start
+
+
+def decode_block(reader: BitReader) -> np.ndarray:
+    """Inverse of :func:`encode_block`."""
+    n_nonzero = read_ue(reader)
+    if n_nonzero > 16:
+        raise ValueError(f"corrupt block: {n_nonzero} nonzero coefficients")
+    scan = np.zeros(16, dtype=np.int32)
+    pos = -1
+    for _ in range(n_nonzero):
+        run = read_ue(reader)
+        pos += run + 1
+        if pos >= 16:
+            raise ValueError("corrupt block: zigzag position overflow")
+        scan[pos] = read_se(reader)
+    return _unzigzag(scan)
+
+
+def block_bits(block: np.ndarray) -> int:
+    """Exact bit cost of :func:`encode_block` without materializing bits.
+
+    Used by the mode decision's rate estimator (the "CAVLC-style cost
+    model"): cheap to evaluate and exactly equal to the real cost.
+    """
+    scan = _zigzag(np.asarray(block, dtype=np.int64))
+    nz_positions = np.nonzero(scan)[0]
+    bits = ue_bits(len(nz_positions))
+    prev = -1
+    for pos in nz_positions:
+        bits += ue_bits(int(pos - prev - 1))
+        bits += se_bits(int(scan[pos]))
+        prev = int(pos)
+    return bits

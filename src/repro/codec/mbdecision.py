@@ -1,0 +1,183 @@
+"""Macroblock mode decision: candidate generation and RD cost comparison.
+
+Implements paper §II-B3: each 16x16 macroblock chooses among intra modes
+(I-macroblocks), inter modes with optional sub-partitioning
+(P/B-macroblocks), bi-prediction (B frames only) and SKIP. Costs combine
+distortion (SAD/SATD depending on ``subme``) with an estimated rate term
+weighted by the QP-dependent Lagrange multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.entropy import se_bits, ue_bits
+from repro.codec.motion import (
+    MotionSearchResult,
+    PaddedReference,
+    motion_search,
+    subpel_refine,
+)
+from repro.codec.options import EncoderOptions
+from repro.codec.quant import rd_lambda
+from repro.codec.types import MBMode, MotionVector
+
+__all__ = ["InterCandidate", "mv_bits", "search_partitions", "choose_inter_ref"]
+
+
+def mv_bits(mv: MotionVector, pred: MotionVector) -> int:
+    """Exp-Golomb cost of coding ``mv`` relative to its prediction."""
+    return se_bits(mv.dx - pred.dx) + se_bits(mv.dy - pred.dy) + ue_bits(mv.ref)
+
+
+@dataclass
+class InterCandidate:
+    """One inter coding candidate produced by the search stage."""
+
+    mode: MBMode
+    mvs: list[MotionVector]
+    prediction: np.ndarray  # float64 or uint8 (16, 16)
+    distortion: float
+    rate_bits: int
+    n_search_points: int
+    positions: list[tuple[int, int]]
+    mv1: MotionVector | None = None
+
+    def rd_cost(self, qp: int) -> float:
+        return self.distortion + rd_lambda(qp) * self.rate_bits
+
+
+def choose_inter_ref(
+    cur: np.ndarray,
+    refs: list[PaddedReference],
+    base_y: int,
+    base_x: int,
+    pred_mv: MotionVector,
+    options: EncoderOptions,
+    qp: int,
+) -> tuple[MotionSearchResult, int, int, list[tuple[int, int]]]:
+    """Search every active reference frame and keep the best.
+
+    This is exactly where ``refs`` "expands the encoding search space"
+    (paper §III-A): each extra reference frame costs a full integer-pel
+    search plus its reference-index rate penalty. Returns the best result,
+    its reference index, the total points evaluated, and all positions
+    visited (for trace memory modelling, tagged per ref by the caller).
+    """
+    lam = rd_lambda(qp)
+    best: MotionSearchResult | None = None
+    best_ref = 0
+    total_points = 0
+    all_positions: list[tuple[int, int]] = []
+    for ref_idx, ref in enumerate(refs):
+        result = motion_search(
+            cur,
+            ref,
+            base_y,
+            base_x,
+            method=options.me,
+            merange=options.merange,
+            pred_mv=pred_mv.full_pel,
+        )
+        total_points += result.n_points
+        all_positions.extend((ref_idx, *p) for p in result.positions)  # type: ignore[misc]
+        penalized = result.cost + lam * ue_bits(ref_idx)
+        if best is None or penalized < best.cost + lam * ue_bits(best_ref):
+            best = result
+            best_ref = ref_idx
+    assert best is not None
+    best = subpel_refine(
+        cur, refs[best_ref], base_y, base_x, best, subme=options.subme
+    )
+    total_points = best.n_points + total_points - best.n_points  # subpel included
+    return best, best_ref, total_points, all_positions
+
+
+def _refine_partition(
+    cur_part: np.ndarray,
+    ref: PaddedReference,
+    part_y: int,
+    part_x: int,
+    start_mv: tuple[int, int],
+    size: int,
+) -> tuple[tuple[int, int], float, int]:
+    """Small diamond refinement of one sub-partition around the parent MV."""
+    best_dx, best_dy = start_mv
+    cur64 = cur_part.astype(np.int64)
+
+    def sad_at(dx: int, dy: int) -> float:
+        block = ref.block(part_y + dy, part_x + dx, size)
+        return float(np.sum(np.abs(cur64 - block.astype(np.int64))))
+
+    best_cost = sad_at(best_dx, best_dy)
+    n_points = 1
+    for _ in range(2):
+        improved = False
+        for dx, dy in ((0, -1), (0, 1), (-1, 0), (1, 0)):
+            cost = sad_at(best_dx + dx, best_dy + dy)
+            n_points += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_dx += dx
+                best_dy += dy
+                improved = True
+        if not improved:
+            break
+    return (best_dx, best_dy), best_cost, n_points
+
+
+def search_partitions(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    base_y: int,
+    base_x: int,
+    parent_mv: MotionVector,
+    pred_mv: MotionVector,
+    options: EncoderOptions,
+    *,
+    size: int,
+) -> InterCandidate | None:
+    """Try splitting the MB into ``size`` x ``size`` partitions (8 or 4).
+
+    Each partition refines its own MV around the parent's. Returns None
+    when the option set does not allow this partition size.
+    """
+    allowed = options.partition_candidates
+    if size == 8 and "p8x8" not in allowed:
+        return None
+    if size == 4 and "p4x4" not in allowed:
+        return None
+    n = 16 // size
+    start = parent_mv.full_pel
+    mvs: list[MotionVector] = []
+    prediction = np.zeros((16, 16), dtype=np.float64)
+    distortion = 0.0
+    rate = ue_bits(3 if size == 8 else 4)  # mode signalling
+    total_points = 0
+    for py in range(n):
+        for px in range(n):
+            y0, x0 = py * size, px * size
+            cur_part = cur[y0 : y0 + size, x0 : x0 + size]
+            (dx, dy), cost, pts = _refine_partition(
+                cur_part, ref, base_y + y0, base_x + x0, start, size
+            )
+            total_points += pts
+            mv = MotionVector(dx * 4, dy * 4, parent_mv.ref)
+            mvs.append(mv)
+            rate += mv_bits(mv, pred_mv)
+            distortion += cost
+            prediction[y0 : y0 + size, x0 : x0 + size] = ref.block(
+                base_y + y0 + dy, base_x + x0 + dx, size
+            )
+    mode = MBMode.INTER_8X8 if size == 8 else MBMode.INTER_4X4
+    return InterCandidate(
+        mode=mode,
+        mvs=mvs,
+        prediction=prediction,
+        distortion=distortion,
+        rate_bits=rate,
+        n_search_points=total_points,
+        positions=[],
+    )

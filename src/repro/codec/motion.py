@@ -1,0 +1,341 @@
+"""Motion estimation: the x264 integer-pel search patterns plus subpel.
+
+Implements the paper's §II-B2 search methods — diamond (dia), hexagon
+(hex), uneven multi-hexagon (umh), exhaustive (esa) and Hadamard
+exhaustive (tesa) — over a padded reference plane, plus subpixel
+refinement gated by ``subme``. Every search reports how many candidate
+positions it evaluated and which positions it visited; the encoder turns
+those into memory-access events for the µarch simulator, which is how
+"refs expands the encoding search space" (paper §III-A) becomes visible
+as data-cache pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.codec.transform import hadamard_sad
+
+__all__ = [
+    "PaddedReference",
+    "MotionSearchResult",
+    "motion_search",
+    "subpel_refine",
+    "fetch_prediction",
+]
+
+_DIA_OFFSETS = ((0, -1), (0, 1), (-1, 0), (1, 0))
+_HEX_OFFSETS = ((-2, 0), (2, 0), (-1, 2), (1, 2), (-1, -2), (1, -2))  # (dx, dy)
+
+
+@dataclass(frozen=True)
+class PaddedReference:
+    """A reference luma plane edge-padded for unclamped block fetches."""
+
+    plane: np.ndarray  # uint8, padded
+    pad: int
+    height: int  # original geometry
+    width: int
+
+    @staticmethod
+    def from_plane(plane: np.ndarray, pad: int) -> "PaddedReference":
+        if plane.ndim != 2:
+            raise ValueError("reference plane must be 2-D")
+        padded = np.pad(plane, pad, mode="edge")
+        return PaddedReference(padded, pad, plane.shape[0], plane.shape[1])
+
+    def block(self, y: int, x: int, size: int = 16) -> np.ndarray:
+        """Fetch a block at *unpadded* coordinates (may be negative)."""
+        yy = y + self.pad
+        xx = x + self.pad
+        return self.plane[yy : yy + size, xx : xx + size]
+
+    def half_pel_block(self, y4: int, x4: int, size: int = 16) -> np.ndarray:
+        """Fetch a block at quarter-pel coordinates via bilinear interp."""
+        y = y4 / 4.0 + self.pad
+        x = x4 / 4.0 + self.pad
+        y0, x0 = int(np.floor(y)), int(np.floor(x))
+        fy, fx = y - y0, x - x0
+        a = self.plane[y0 : y0 + size + 1, x0 : x0 + size + 1].astype(np.float64)
+        top = a[:size, :size] * (1 - fx) + a[:size, 1 : size + 1] * fx
+        bot = a[1 : size + 1, :size] * (1 - fx) + a[1 : size + 1, 1 : size + 1] * fx
+        return top * (1 - fy) + bot * fy
+
+
+@dataclass
+class MotionSearchResult:
+    """Outcome of one block's motion search against one reference."""
+
+    mv_x: int  # quarter-pel
+    mv_y: int
+    cost: float  # SAD (or SATD at high subme) at the chosen position
+    n_points: int  # candidate positions evaluated
+    positions: list[tuple[int, int]] = field(default_factory=list)  # full-pel visits
+    improvements: list[bool] = field(default_factory=list)  # per-candidate "new best"
+    early_terminated: bool = False
+
+
+def _sad(cur: np.ndarray, ref_block: np.ndarray) -> float:
+    return float(np.sum(np.abs(cur.astype(np.int64) - ref_block.astype(np.int64))))
+
+
+def _pattern_search(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    start: tuple[int, int],
+    offsets: tuple[tuple[int, int], ...],
+    merange: int,
+    base_y: int,
+    base_x: int,
+    *,
+    max_iters: int = 64,
+) -> MotionSearchResult:
+    """Iterative pattern search (shared by dia and hex coarse stages)."""
+    best_dx, best_dy = start
+    best_cost = _sad(cur, ref.block(base_y + best_dy, base_x + best_dx))
+    n_points = 1
+    positions = [(best_dx, best_dy)]
+    improvements = [True]
+    seen = {(best_dx, best_dy)}
+    for _ in range(max_iters):
+        improved = False
+        center = (best_dx, best_dy)
+        for dx, dy in offsets:
+            cx, cy = center[0] + dx, center[1] + dy
+            if abs(cx) > merange or abs(cy) > merange or (cx, cy) in seen:
+                continue
+            seen.add((cx, cy))
+            cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
+            n_points += 1
+            positions.append((cx, cy))
+            better = cost < best_cost
+            improvements.append(better)
+            if better:
+                best_cost = cost
+                best_dx, best_dy = cx, cy
+                improved = True
+        if not improved:
+            break
+    return MotionSearchResult(
+        best_dx * 4, best_dy * 4, best_cost, n_points, positions, improvements
+    )
+
+
+def _dia_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
+    return _pattern_search(cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x)
+
+
+def _hex_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
+    coarse = _pattern_search(cur, ref, pred, _HEX_OFFSETS, merange, base_y, base_x)
+    # Final small-diamond refinement around the hexagon winner.
+    fine = _pattern_search(
+        cur,
+        ref,
+        (coarse.mv_x // 4, coarse.mv_y // 4),
+        _DIA_OFFSETS,
+        merange,
+        base_y,
+        base_x,
+        max_iters=2,
+    )
+    fine.n_points += coarse.n_points
+    fine.positions = coarse.positions + fine.positions
+    fine.improvements = coarse.improvements + fine.improvements
+    return fine
+
+
+def _umh_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
+    """Simplified uneven multi-hexagon: cross + scaled hexagon grid + hex."""
+    best = _pattern_search(
+        cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x, max_iters=1
+    )
+    n_points = best.n_points
+    positions = list(best.positions)
+    improvements = list(best.improvements)
+    best_dx, best_dy = best.mv_x // 4, best.mv_y // 4
+    best_cost = best.cost
+    # Cross search: horizontal & vertical lines at stride 2.
+    for d in range(2, merange + 1, 2):
+        for cx, cy in ((d, 0), (-d, 0), (0, d), (0, -d)):
+            cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
+            n_points += 1
+            positions.append((cx, cy))
+            better = cost < best_cost
+            improvements.append(better)
+            if better:
+                best_cost, best_dx, best_dy = cost, cx, cy
+    # Multi-hexagon grid: hexagons of growing radius around current best.
+    for radius in (2, 4, 8):
+        if radius > merange:
+            break
+        for hx, hy in _HEX_OFFSETS:
+            cx = best_dx + hx * radius // 2
+            cy = best_dy + hy * radius // 2
+            if abs(cx) > merange or abs(cy) > merange:
+                continue
+            cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
+            n_points += 1
+            positions.append((cx, cy))
+            better = cost < best_cost
+            improvements.append(better)
+            if better:
+                best_cost, best_dx, best_dy = cost, cx, cy
+    # Final hexagon refinement from the grid winner.
+    refine = _hex_search(cur, ref, merange, base_y, base_x, (best_dx, best_dy))
+    if refine.cost < best_cost:
+        result = refine
+    else:
+        result = MotionSearchResult(best_dx * 4, best_dy * 4, best_cost, 0, [])
+    result.n_points += n_points
+    result.positions = positions + result.positions
+    result.improvements = improvements + result.improvements
+    return result
+
+
+def _esa_search(
+    cur, ref: PaddedReference, merange, base_y, base_x, pred, *, use_satd=False
+) -> MotionSearchResult:
+    """Exhaustive search over the full window, vectorized.
+
+    tesa additionally re-scores the best SAD candidates with SATD
+    (Hadamard), as x264's transformed exhaustive search does.
+    """
+    y0 = base_y - merange + ref.pad
+    x0 = base_x - merange + ref.pad
+    span = 2 * merange + 16
+    window = ref.plane[y0 : y0 + span, x0 : x0 + span]
+    views = sliding_window_view(window, (16, 16))  # (2R+1, 2R+1, 16, 16)
+    diffs = np.abs(views.astype(np.int64) - cur.astype(np.int64))
+    sads = diffs.sum(axis=(2, 3))
+    n_points = sads.size
+    if use_satd:
+        # Re-score the 8 best SAD positions with SATD.
+        flat = np.argsort(sads, axis=None)[:8]
+        best_cost = np.inf
+        best_pos = (0, 0)
+        for f in flat:
+            iy, ix = divmod(int(f), sads.shape[1])
+            cand = views[iy, ix]
+            cost = hadamard_sad(cur, cand)
+            n_points += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_pos = (ix - merange, iy - merange)
+        best_dx, best_dy = best_pos
+    else:
+        iy, ix = np.unravel_index(int(np.argmin(sads)), sads.shape)
+        best_dx, best_dy = int(ix) - merange, int(iy) - merange
+        best_cost = float(sads[iy, ix])
+    # Record a bounded sample of visited positions (the full raster).
+    positions = [
+        (dx, dy)
+        for dy in range(-merange, merange + 1, max(1, merange // 4))
+        for dx in range(-merange, merange + 1, max(1, merange // 4))
+    ]
+    return MotionSearchResult(
+        best_dx * 4, best_dy * 4, float(best_cost), int(n_points), positions
+    )
+
+
+_METHODS = {
+    "dia": _dia_search,
+    "hex": _hex_search,
+    "umh": _umh_search,
+}
+
+
+def motion_search(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    base_y: int,
+    base_x: int,
+    *,
+    method: str = "hex",
+    merange: int = 16,
+    pred_mv: tuple[int, int] = (0, 0),
+) -> MotionSearchResult:
+    """Integer-pel motion search for a 16x16 block.
+
+    ``pred_mv`` is the full-pel motion-vector prediction used as the
+    search start (the median predictor in the encoder). Raises
+    ``ValueError`` on an unknown method name.
+    """
+    if cur.shape != (16, 16):
+        raise ValueError(f"expected 16x16 current block, got {cur.shape}")
+    start = (
+        int(np.clip(pred_mv[0], -merange, merange)),
+        int(np.clip(pred_mv[1], -merange, merange)),
+    )
+    if method in _METHODS:
+        return _METHODS[method](cur, ref, merange, base_y, base_x, start)
+    if method == "esa":
+        return _esa_search(cur, ref, merange, base_y, base_x, start)
+    if method == "tesa":
+        return _esa_search(cur, ref, merange, base_y, base_x, start, use_satd=True)
+    raise ValueError(f"unknown motion estimation method {method!r}")
+
+
+def subpel_refine(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    base_y: int,
+    base_x: int,
+    result: MotionSearchResult,
+    *,
+    subme: int,
+) -> MotionSearchResult:
+    """Fractional-pel refinement gated by ``subme`` (paper Table II row).
+
+    subme 0-1: none; 2-3: half-pel; 4-5: quarter-pel; 6+: quarter-pel
+    scored with SATD (x264 switches to SATD/RD at higher levels). Returns
+    a new result; ``n_points`` counts additional evaluations.
+    """
+    if subme < 2:
+        return result
+    steps: list[int] = [2]  # half-pel
+    if subme >= 4:
+        steps.append(1)  # quarter-pel
+    use_satd = subme >= 6
+
+    def cost_at(y4: int, x4: int) -> float:
+        block = ref.half_pel_block(base_y * 4 + y4, base_x * 4 + x4)
+        if use_satd:
+            return hadamard_sad(cur, block)
+        return float(np.sum(np.abs(cur.astype(np.float64) - block)))
+
+    best_x, best_y = result.mv_x, result.mv_y
+    best_cost = cost_at(best_y, best_x)
+    n_points = result.n_points + 1
+    for step in steps:
+        improved = True
+        iters = 0
+        while improved and iters < 4:
+            improved = False
+            iters += 1
+            for dx, dy in _DIA_OFFSETS:
+                cx, cy = best_x + dx * step, best_y + dy * step
+                cost = cost_at(cy, cx)
+                n_points += 1
+                if cost < best_cost:
+                    best_cost, best_x, best_y = cost, cx, cy
+                    improved = True
+    return MotionSearchResult(
+        best_x, best_y, best_cost, n_points, result.positions, result.early_terminated
+    )
+
+
+def fetch_prediction(
+    ref: PaddedReference, y: int, x: int, mv_x4: int, mv_y4: int
+) -> np.ndarray:
+    """Fetch the 16x16 prediction for a quarter-pel MV (float64).
+
+    Shared by the encoder and decoder so both sides produce bit-identical
+    predictions: full-pel MVs use the direct block fetch, fractional MVs
+    use bilinear interpolation.
+    """
+    if mv_x4 % 4 == 0 and mv_y4 % 4 == 0:
+        return ref.block(y + (mv_y4 >> 2), x + (mv_x4 >> 2)).astype(np.float64)
+    return ref.half_pel_block(y * 4 + mv_y4, x * 4 + mv_x4)

@@ -1,0 +1,102 @@
+"""Integer-DCT-style 4x4 block transform and Hadamard SATD.
+
+We use the H.264 core transform matrix normalized into an orthonormal
+basis, so forward/inverse are exact adjoints (energy preserving — handy
+for property tests) while the *structure* (4x4 blocks, zigzag order,
+per-position quantization) matches the real codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "forward_4x4",
+    "inverse_4x4",
+    "blockify_16x16",
+    "unblockify_16x16",
+    "satd_4x4",
+    "hadamard_sad",
+    "ZIGZAG_4X4",
+]
+
+# H.264 core transform rows; row norms are sqrt(4) and sqrt(10).
+_CF = np.array(
+    [[1, 1, 1, 1], [2, 1, -1, -2], [1, -1, -1, 1], [1, -2, 2, -1]],
+    dtype=np.float64,
+)
+_NORMS = np.sqrt(np.sum(_CF * _CF, axis=1))
+_T = _CF / _NORMS[:, None]  # orthonormal: _T @ _T.T == I
+
+# 4x4 Hadamard matrix for SATD.
+_H4 = np.array(
+    [[1, 1, 1, 1], [1, 1, -1, -1], [1, -1, -1, 1], [1, -1, 1, -1]],
+    dtype=np.float64,
+)
+
+#: Zigzag scan order for a 4x4 block as (row, col) index arrays.
+ZIGZAG_4X4 = (
+    np.array([0, 0, 1, 2, 1, 0, 0, 1, 2, 3, 3, 2, 1, 2, 3, 3]),
+    np.array([0, 1, 0, 0, 1, 2, 3, 2, 1, 0, 1, 2, 3, 3, 2, 3]),
+)
+
+
+def forward_4x4(blocks: np.ndarray) -> np.ndarray:
+    """Forward transform of a batch of 4x4 residual blocks.
+
+    ``blocks`` has shape ``(n, 4, 4)`` (any integer/float dtype); returns
+    float64 coefficients of the same shape.
+    """
+    arr = np.asarray(blocks, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None]
+    if arr.shape[-2:] != (4, 4):
+        raise ValueError(f"expected (*, 4, 4) blocks, got {arr.shape}")
+    return np.einsum("ij,njk,lk->nil", _T, arr, _T, optimize=True)
+
+
+def inverse_4x4(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_4x4` (exact adjoint)."""
+    arr = np.asarray(coeffs, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None]
+    if arr.shape[-2:] != (4, 4):
+        raise ValueError(f"expected (*, 4, 4) coeffs, got {arr.shape}")
+    return np.einsum("ji,njk,kl->nil", _T, arr, _T, optimize=True)
+
+
+def blockify_16x16(mb: np.ndarray) -> np.ndarray:
+    """Split a 16x16 macroblock into 16 4x4 blocks in raster order."""
+    if mb.shape != (16, 16):
+        raise ValueError(f"expected 16x16 macroblock, got {mb.shape}")
+    return (
+        mb.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 4, 4)
+    )
+
+
+def unblockify_16x16(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blockify_16x16`."""
+    if blocks.shape != (16, 4, 4):
+        raise ValueError(f"expected (16, 4, 4) blocks, got {blocks.shape}")
+    return blocks.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 16)
+
+
+def satd_4x4(blocks: np.ndarray) -> float:
+    """Sum of absolute Hadamard-transformed differences over 4x4 blocks.
+
+    SATD is x264's sharper distortion metric used at higher subme levels;
+    it approximates the bit cost of the residual better than SAD.
+    """
+    arr = np.asarray(blocks, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None]
+    trans = np.einsum("ij,njk,lk->nil", _H4, arr, _H4, optimize=True)
+    return float(np.sum(np.abs(trans)) / 2.0)
+
+
+def hadamard_sad(a: np.ndarray, b: np.ndarray) -> float:
+    """SATD between two 16x16 pixel blocks."""
+    if a.shape != (16, 16) or b.shape != (16, 16):
+        raise ValueError("hadamard_sad expects 16x16 blocks")
+    diff = a.astype(np.float64) - b.astype(np.float64)
+    return satd_4x4(blockify_16x16(diff))

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(scale) -> <Result>`` where the result
+carries the raw data (for tests and benchmarks) and ``render() -> str``
+produces the same rows/series the paper reports. The
+:class:`~repro.experiments.runner.ExperimentScale` controls proxy sizing:
+``quick`` (default) finishes in tens of seconds, ``full`` approaches the
+paper's 816-combination grids.
+"""
+
+from repro.experiments.runner import ExperimentScale, SweepRunner
+
+__all__ = ["ExperimentScale", "SweepRunner"]
+
+#: Experiment registry used by the CLI: id -> (module, description).
+EXPERIMENT_IDS = (
+    "tab1",
+    "tab2",
+    "tab3",
+    "tab4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "roofline",
+)

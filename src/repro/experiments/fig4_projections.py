@@ -1,0 +1,95 @@
+"""Figure 4: the two projections of the crf x refs sweep.
+
+Projection A: one horizontal line per crf value in (bitrate, PSNR) space —
+the line's vertical position is the (crf-determined) quality and its
+*length* is the file-size range achievable by sweeping refs; the paper
+observes longer lines (more refs benefit) at low crf and shrinking lines
+(diminishing returns) as crf grows.
+
+Projection B: transcoding time versus refs, one curve per crf — time
+grows with refs with an elbow beyond which extra references stop paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.experiments.runner import ExperimentScale, QUICK, shared_runner
+
+__all__ = ["Fig4Result", "run"]
+
+
+@dataclass
+class ProjectionALine:
+    crf: int
+    psnr_db: float  # mean over refs (crf pins quality)
+    bitrate_min: float
+    bitrate_max: float
+
+    @property
+    def line_length(self) -> float:
+        """Bitrate range achievable by sweeping refs at this crf."""
+        return self.bitrate_max - self.bitrate_min
+
+
+@dataclass
+class Fig4Result:
+    crf_values: tuple[int, ...]
+    refs_values: tuple[int, ...]
+    projection_a: list[ProjectionALine]
+    # projection B: time_seconds[crf][refs]
+    projection_b: dict[int, dict[int, float]]
+
+    def render(self) -> str:
+        rows_a = [
+            [f"crf={l.crf}", l.psnr_db, l.bitrate_min, l.bitrate_max, l.line_length]
+            for l in self.projection_a
+        ]
+        part_a = format_table(
+            ["line", "PSNR(dB)", "bitrate_min", "bitrate_max", "length(kbps)"],
+            rows_a,
+        )
+        headers = ["crf \\ refs"] + [str(r) for r in self.refs_values]
+        rows_b = []
+        for crf in self.crf_values:
+            rows_b.append(
+                [f"crf={crf}"]
+                + [self.projection_b[crf][r] * 1e3 for r in self.refs_values]
+            )
+        part_b = format_table(headers, rows_b, floatfmt=".2f")
+        return (
+            "Figure 4 — Projection A (PSNR vs bitrate lines per crf)\n"
+            + part_a
+            + "\n\nFigure 4 — Projection B (transcode time [ms] vs refs per crf)\n"
+            + part_b
+        )
+
+
+def run(scale: ExperimentScale = QUICK) -> Fig4Result:
+    runner = shared_runner(scale)
+    records = runner.crf_refs_sweep()
+    by_key = {(r.crf, r.refs): r.counters for r in records}
+
+    projection_a: list[ProjectionALine] = []
+    projection_b: dict[int, dict[int, float]] = {}
+    for crf in scale.crf_values:
+        rates = [by_key[(crf, r)].bitrate_kbps for r in scale.refs_values]
+        psnrs = [by_key[(crf, r)].psnr_db for r in scale.refs_values]
+        projection_a.append(
+            ProjectionALine(
+                crf=crf,
+                psnr_db=float(sum(psnrs) / len(psnrs)),
+                bitrate_min=min(rates),
+                bitrate_max=max(rates),
+            )
+        )
+        projection_b[crf] = {
+            r: by_key[(crf, r)].time_seconds for r in scale.refs_values
+        }
+    return Fig4Result(
+        crf_values=scale.crf_values,
+        refs_values=scale.refs_values,
+        projection_a=projection_a,
+        projection_b=projection_b,
+    )

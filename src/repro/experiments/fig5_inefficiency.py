@@ -1,0 +1,77 @@
+"""Figure 5: microarchitectural-resource inefficiency across crf x refs.
+
+Eight heatmaps over the same grid as Figure 3: (a) branch MPKI, (b-d)
+L1/L2/L3 data-cache MPKI, (e-h) resource stalls (any / ROB / RS / SB).
+Headline shapes: branch MPKI *falls* as crf or refs grow; cache MPKI and
+ROB/RS stalls *rise*; the store buffer is the exception — its stalls fall
+as refs grows (better compression means fewer stores per instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.report import ascii_heatmap
+from repro.experiments.runner import ExperimentScale, QUICK, shared_runner
+
+__all__ = ["Fig5Result", "run", "PANELS"]
+
+#: (panel key, CounterSet attribute, title)
+PANELS = (
+    ("branch", "branch_mpki", "(a) Branch MPKI"),
+    ("l1", "l1d_mpki", "(b) L1 data cache MPKI"),
+    ("l2", "l2_mpki", "(c) L2 cache MPKI"),
+    ("l3", "l3_mpki", "(d) L3 cache MPKI"),
+    ("any", "stall_any_pki", "(e) Resource stalls - Any (cycles/KI)"),
+    ("rob", "stall_rob_pki", "(f) Resource stalls - ROB (cycles/KI)"),
+    ("rs", "stall_rs_pki", "(g) Resource stalls - RS (cycles/KI)"),
+    ("sb", "stall_sb_pki", "(h) Resource stalls - SB (cycles/KI)"),
+)
+
+
+@dataclass
+class Fig5Result:
+    crf_values: tuple[int, ...]
+    refs_values: tuple[int, ...]
+    grids: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def trend_along_crf(self, panel: str, refs_index: int = 0) -> float:
+        """Last-minus-first value along crf at a fixed refs row."""
+        grid = self.grids[panel]
+        return float(grid[refs_index, -1] - grid[refs_index, 0])
+
+    def trend_along_refs(self, panel: str, crf_index: int | None = None) -> float:
+        """Last-minus-first value along refs at a fixed crf column."""
+        grid = self.grids[panel]
+        j = crf_index if crf_index is not None else grid.shape[1] // 2
+        return float(grid[-1, j] - grid[0, j])
+
+    def render(self) -> str:
+        kwargs = dict(
+            row_labels=[f"refs={r}" for r in self.refs_values],
+            col_labels=list(self.crf_values),
+        )
+        parts = ["Figure 5 — µarch resource inefficiency (rows: refs, cols: crf)"]
+        for key, _attr, title in PANELS:
+            parts.append("")
+            parts.append(
+                ascii_heatmap(self.grids[key], title=title, value_fmt=".2f", **kwargs)
+            )
+        return "\n".join(parts)
+
+
+def run(scale: ExperimentScale = QUICK) -> Fig5Result:
+    runner = shared_runner(scale)
+    records = runner.crf_refs_sweep()
+    by_key = {(r.crf, r.refs): r.counters for r in records}
+    shape = (len(scale.refs_values), len(scale.crf_values))
+    result = Fig5Result(crf_values=scale.crf_values, refs_values=scale.refs_values)
+    for key, attr, _title in PANELS:
+        grid = np.zeros(shape)
+        for i, refs in enumerate(scale.refs_values):
+            for j, crf in enumerate(scale.crf_values):
+                grid[i, j] = getattr(by_key[(crf, refs)], attr)
+        result.grids[key] = grid
+    return result

@@ -1,0 +1,86 @@
+"""Figure 6: profiling across the ten x264 presets (crf=23, refs=3).
+
+Four panels: (a) transcoding time / bitrate / PSNR, (b) top-down bound
+slots, (c) branch + cache MPKI, (d) resource stalls. Headline shapes:
+time grows monotonically from ultrafast to placebo; bitrate improves
+sharply up to veryfast then plateaus (the paper's "tune up to veryfast"
+advice); data-cache MPKI and the back-end bound fraction *fall* with
+slower presets (higher operational intensity); branch MPKI fluctuates
+with no clear direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.presets import PRESET_NAMES
+from repro.experiments.report import series_table
+from repro.experiments.runner import ExperimentScale, QUICK, shared_runner
+from repro.profiling.counters import CounterSet
+
+__all__ = ["Fig6Result", "run"]
+
+
+@dataclass
+class Fig6Result:
+    presets: tuple[str, ...]
+    counters: dict[str, CounterSet]
+
+    def series(self, attr: str) -> list[float]:
+        return [getattr(self.counters[p], attr) for p in self.presets]
+
+    def render(self) -> str:
+        xs = list(self.presets)
+        a = series_table(
+            "preset",
+            xs,
+            {
+                "time(ms)": [t * 1e3 for t in self.series("time_seconds")],
+                "bitrate(kbps)": self.series("bitrate_kbps"),
+                "PSNR(dB)": self.series("psnr_db"),
+            },
+        )
+        b = series_table(
+            "preset",
+            xs,
+            {
+                "FE%": self.series("frontend_bound"),
+                "BE%": self.series("backend_bound"),
+                "BS%": self.series("bad_speculation"),
+                "ret%": self.series("retiring"),
+            },
+        )
+        c = series_table(
+            "preset",
+            xs,
+            {
+                "branch": self.series("branch_mpki"),
+                "L1d": self.series("l1d_mpki"),
+                "L2": self.series("l2_mpki"),
+                "L3": self.series("l3_mpki"),
+            },
+        )
+        d = series_table(
+            "preset",
+            xs,
+            {
+                "any": self.series("stall_any_pki"),
+                "ROB": self.series("stall_rob_pki"),
+                "RS": self.series("stall_rs_pki"),
+                "SB": self.series("stall_sb_pki"),
+            },
+        )
+        return (
+            "Figure 6 — across presets (crf=23, refs=3)\n"
+            "(a) time / bitrate / PSNR\n" + a +
+            "\n\n(b) top-down bound slots (%)\n" + b +
+            "\n\n(c) branch & cache MPKI\n" + c +
+            "\n\n(d) resource stalls (cycles/KI)\n" + d
+        )
+
+
+def run(scale: ExperimentScale = QUICK) -> Fig6Result:
+    runner = shared_runner(scale)
+    records = runner.preset_sweep()
+    counters = {r.preset: r.counters for r in records}
+    return Fig6Result(presets=PRESET_NAMES, counters=counters)

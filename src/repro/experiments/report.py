@@ -1,0 +1,66 @@
+"""ASCII rendering of experiment results: heatmaps, series, tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro._util import format_table
+
+__all__ = ["ascii_heatmap", "series_table", "format_table"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    *,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str,
+    value_fmt: str = ".1f",
+) -> str:
+    """Render a 2-D value grid as a shaded heatmap with numeric margins.
+
+    Rows/cols follow the paper's Fig. 3/5 convention: rows are refs,
+    columns are crf. Each cell shows a shade character scaled between the
+    grid's min and max; row/column header lines carry the labels and the
+    min/max legend makes values recoverable.
+    """
+    arr = np.asarray(grid, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D grid, got shape {arr.shape}")
+    if arr.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("grid shape does not match labels")
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(v: float) -> str:
+        idx = int((v - lo) / span * (len(_SHADES) - 1))
+        return _SHADES[idx]
+
+    width = max(len(str(c)) for c in col_labels)
+    out = [f"{title}   [min={format(lo, value_fmt)} '{_SHADES[0]}'"
+           f" .. max={format(hi, value_fmt)} '{_SHADES[-1]}']"]
+    header = " " * 8 + " ".join(str(c).rjust(width) for c in col_labels)
+    out.append(header)
+    for i, rl in enumerate(row_labels):
+        cells = " ".join(shade(arr[i, j]).rjust(width) for j in range(arr.shape[1]))
+        out.append(f"{str(rl):>6}  {cells}")
+    return "\n".join(out)
+
+
+def series_table(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    floatfmt: str = ".2f",
+) -> str:
+    """Tabulate several named series against a shared x axis."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, floatfmt=floatfmt)

@@ -1,0 +1,202 @@
+"""Sweep engine: parameter grids, proxy scaling, and result caching.
+
+The paper's §III-C sweeps are expensive (816 crf x refs combinations);
+this runner executes them at configurable proxy scale and memoizes
+completed runs in-process, so the figure/benchmark modules that share a
+sweep (Fig 3, 4, 5 all use the crf x refs grid) only pay for it once per
+session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.codec.options import EncoderOptions
+from repro.codec.presets import preset_options
+from repro.profiling.counters import CounterSet
+from repro.profiling.perf import profile_transcode
+from repro.video.vbench import load_video
+
+__all__ = ["ExperimentScale", "SweepRecord", "SweepRunner", "QUICK", "MEDIUM", "FULL"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Proxy sizing knobs for every experiment."""
+
+    name: str = "quick"
+    width: int = 112
+    height: int = 64
+    n_frames: int = 12
+    crf_values: tuple[int, ...] = (1, 10, 23, 32, 40, 51)
+    refs_values: tuple[int, ...] = (1, 2, 4, 8)
+    sweep_video: str = "cricket"
+    videos: tuple[str, ...] = (
+        "desktop",
+        "presentation",
+        "bike",
+        "funny",
+        "cricket",
+        "house",
+        "game1",
+        "game2",
+        "girl",
+        "chicken",
+        "game3",
+        "cat",
+        "holi",
+        "landscape",
+        "hall",
+        "bbb",
+    )
+    data_capacity_scale: float = 48.0
+    sample: int = 1
+    # Parameter combinations per video for the Fig. 8 compiler study
+    # (the paper averages 32 combos; quick mode uses fewer).
+    fig8_combos: int = 4
+    fig8_videos: tuple[str, ...] = ()  # empty = all of `videos`
+
+    def with_updates(self, **changes: object) -> "ExperimentScale":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+QUICK = ExperimentScale()
+
+MEDIUM = ExperimentScale(
+    name="medium",
+    width=160,
+    height=96,
+    n_frames=16,
+    crf_values=(1, 5, 10, 16, 23, 28, 32, 36, 40, 45, 51),
+    refs_values=(1, 2, 3, 4, 6, 8, 12, 16),
+    fig8_combos=8,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    width=160,
+    height=96,
+    n_frames=24,
+    crf_values=tuple(range(1, 52)),
+    refs_values=tuple(range(1, 17)),
+    fig8_combos=32,
+)
+
+SCALES = {"quick": QUICK, "medium": MEDIUM, "full": FULL}
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One profiled point of a sweep."""
+
+    video: str
+    crf: int
+    refs: int
+    preset: str
+    counters: CounterSet
+
+    def as_row(self) -> dict[str, float | int | str]:
+        row: dict[str, float | int | str] = {
+            "video": self.video,
+            "crf": self.crf,
+            "refs": self.refs,
+            "preset": self.preset,
+        }
+        row.update(self.counters.as_dict())
+        return row
+
+
+class SweepRunner:
+    """Executes and memoizes profiled transcodes for one scale."""
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self._video_cache: dict[str, object] = {}
+        self._run_cache: dict[tuple, SweepRecord] = {}
+
+    # ------------------------------------------------------------------
+    def _video(self, name: str):
+        if name not in self._video_cache:
+            self._video_cache[name] = load_video(
+                name,
+                width=self.scale.width,
+                height=self.scale.height,
+                n_frames=self.scale.n_frames,
+            )
+        return self._video_cache[name]
+
+    def profile(
+        self,
+        video: str,
+        *,
+        crf: int,
+        refs: int,
+        preset: str = "medium",
+        options: EncoderOptions | None = None,
+    ) -> SweepRecord:
+        """Profile one (video, crf, refs, preset) point, memoized."""
+        key = (video, crf, refs, preset, options.describe() if options else None)
+        if key in self._run_cache:
+            return self._run_cache[key]
+        opts = (
+            options
+            if options is not None
+            else preset_options(preset, crf=crf, refs=refs)
+        )
+        result = profile_transcode(
+            self._video(video),
+            opts,
+            sample=self.scale.sample,
+            data_capacity_scale=self.scale.data_capacity_scale,
+        )
+        record = SweepRecord(
+            video=video, crf=crf, refs=refs, preset=preset, counters=result.counters
+        )
+        self._run_cache[key] = record
+        return record
+
+    # ------------------------------------------------------------------
+    def crf_refs_sweep(self, video: str | None = None) -> list[SweepRecord]:
+        """The Fig 3/4/5 grid: every (crf, refs) combination."""
+        name = video if video is not None else self.scale.sweep_video
+        return [
+            self.profile(name, crf=crf, refs=refs)
+            for crf in self.scale.crf_values
+            for refs in self.scale.refs_values
+        ]
+
+    def preset_sweep(self, video: str | None = None) -> list[SweepRecord]:
+        """The Fig 6 series: all ten presets at crf=23, refs=3."""
+        from repro.codec.presets import PRESET_NAMES
+
+        name = video if video is not None else self.scale.sweep_video
+        return [
+            self.profile(
+                name,
+                crf=23,
+                refs=3,
+                preset=preset,
+                options=preset_options(preset, crf=23, refs=3),
+            )
+            for preset in PRESET_NAMES
+        ]
+
+    def video_sweep(self) -> list[SweepRecord]:
+        """The Fig 7 series: every video, medium preset, crf=23 refs=3."""
+        return [
+            self.profile(name, crf=23, refs=3, preset="medium")
+            for name in self.scale.videos
+        ]
+
+
+_RUNNERS: dict[str, SweepRunner] = {}
+
+
+def shared_runner(scale: ExperimentScale) -> SweepRunner:
+    """Process-wide runner per scale so figures share sweep results."""
+    key = scale.name
+    runner = _RUNNERS.get(key)
+    if runner is None or runner.scale != scale:
+        runner = SweepRunner(scale)
+        _RUNNERS[key] = runner
+    return runner

@@ -1,0 +1,11 @@
+"""FFmpeg-style facade: the transcode pipeline and a CLI.
+
+The paper profiles ``ffmpeg -i in.mkv -c:v libx264 ...`` invocations;
+:func:`repro.ffmpeg.transcode.transcode` is our equivalent entry point
+(decode → optional scale filter → encode), and ``repro-ffmpeg`` exposes
+it on the command line with x264-style options.
+"""
+
+from repro.ffmpeg.transcode import TranscodeResult, transcode
+
+__all__ = ["transcode", "TranscodeResult"]

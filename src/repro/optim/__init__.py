@@ -1,0 +1,27 @@
+"""Compiler-optimization models: AutoFDO and Graphite (paper §III-D).
+
+AutoFDO [Chen et al., CGO'16] uses a sampled execution profile to re-lay
+out the binary: hot basic blocks are packed contiguously (shrinking the
+i-cache fetch footprint) and branch probabilities seed better static
+decisions. Graphite [Pop et al., GCC Summit'06] applies polyhedral loop
+transformations — tiling, fusion, interchange — improving data-cache
+locality. Both are modeled against the same mechanisms in our simulator:
+AutoFDO rewrites the :class:`~repro.trace.program.CodeLayout`, Graphite
+rewrites the encoder's loop traversal / scratch-buffer access streams.
+"""
+
+from repro.optim.autofdo import autofdo_optimize
+from repro.optim.graphite import graphite_loop_opts
+from repro.optim.pipeline import Build, build_autofdo, build_default, build_graphite
+from repro.optim.profile import ExecutionProfile, collect_profile
+
+__all__ = [
+    "ExecutionProfile",
+    "collect_profile",
+    "autofdo_optimize",
+    "graphite_loop_opts",
+    "Build",
+    "build_default",
+    "build_autofdo",
+    "build_graphite",
+]

@@ -1,0 +1,88 @@
+"""AutoFDO: profile-guided code re-layout plus branch hints.
+
+Given an execution profile, the optimizer rebuilds the code layout the
+way AutoFDO's hot/cold splitting and basic-block reordering do:
+
+1. every kernel's hot lines are packed *contiguously* (no cold code
+   interleaved in the fetch path), so one invocation's fetch footprint
+   shrinks from the full hot+cold extent to just the hot lines;
+2. kernels are placed in decreasing-heat order, clustering the hot
+   working set into the smallest possible address range;
+3. cold lines are exiled to a far "cold section" after all hot code;
+4. the layout carries ``branch_hints`` so the branch model can credit
+   profile-seeded static predictions.
+
+Unprofiled kernels keep their pessimistic interleaved footprint — AutoFDO
+can only optimize what the training run exercised, which is why the
+paper trains it on representative transcodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.profile import ExecutionProfile
+from repro.trace.program import CACHE_LINE, CODE_BASE, CodeLayout, Program
+
+__all__ = ["autofdo_optimize", "fdo_layout"]
+
+#: Kernels below this heat are treated as cold (not re-laid-out).
+_HEAT_THRESHOLD = 1e-4
+
+
+def fdo_layout(program: Program, profile: ExecutionProfile) -> CodeLayout:
+    """Build the profile-optimized code layout."""
+    kernels = program.kernels
+    hot_order = [k for k in profile.hottest_first() if k in kernels]
+    hot_set = {k for k in hot_order if profile.heat(k) >= _HEAT_THRESHOLD}
+    remaining = [k for k in sorted(kernels) if k not in hot_set]
+
+    hot_addrs: dict[str, np.ndarray] = {}
+    cold_addrs: dict[str, np.ndarray] = {}
+    fetch_addrs: dict[str, np.ndarray] = {}
+    cursor = 0
+
+    # Hot section: hot lines only, contiguous, hottest kernels first.
+    for name in hot_order:
+        if name not in hot_set:
+            continue
+        k = kernels[name]
+        lines = np.arange(cursor, cursor + k.hot_lines, dtype=np.int64)
+        hot_addrs[name] = CODE_BASE + lines * CACHE_LINE
+        fetch_addrs[name] = hot_addrs[name]
+        cursor += k.hot_lines
+
+    # Cold section: everything else, far away.
+    cold_cursor = cursor + 4096  # leave a gap: cold code on its own pages
+    for name in hot_order:
+        if name not in hot_set:
+            continue
+        k = kernels[name]
+        lines = np.arange(cold_cursor, cold_cursor + k.cold_lines, dtype=np.int64)
+        cold_addrs[name] = CODE_BASE + lines * CACHE_LINE
+        cold_cursor += k.cold_lines
+
+    # Unprofiled kernels keep interleaved (pessimistic) layout at the end.
+    for name in remaining:
+        k = kernels[name]
+        extent = k.total_lines
+        lines = np.arange(cold_cursor, cold_cursor + extent, dtype=np.int64)
+        addrs = CODE_BASE + lines * CACHE_LINE
+        hot_addrs[name] = addrs[: k.hot_lines]
+        cold_addrs[name] = addrs[k.hot_lines :]
+        fetch_addrs[name] = addrs
+        cold_cursor += extent
+
+    return CodeLayout(
+        hot_line_addrs=hot_addrs,
+        cold_line_addrs=cold_addrs,
+        fetch_line_addrs=fetch_addrs,
+        total_lines=cold_cursor,
+        description=f"autofdo({profile.n_runs} training runs)",
+        branch_hints=True,
+    )
+
+
+def autofdo_optimize(program: Program, profile: ExecutionProfile) -> Program:
+    """Recompile: same kernels, profile-optimized layout."""
+    return program.with_layout(fdo_layout(program, profile))

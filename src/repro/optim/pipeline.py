@@ -1,0 +1,64 @@
+"""Build pipeline: compile the encoder "binary" with optimization flags.
+
+A :class:`Build` is what a compiler invocation produces in the paper's
+methodology: a program (code layout) plus the loop transformations baked
+into it. Three builds reproduce §III-D:
+
+- ``build_default()``  — plain -O2: source-order layout, no loop opts;
+- ``build_autofdo(profile)`` — recompiled with a training profile;
+- ``build_graphite()`` — recompiled with the Graphite flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codec.encoder import LoopOptimizations
+from repro.optim.autofdo import autofdo_optimize
+from repro.optim.graphite import GRAPHITE_FLAGS, analyze_kernels
+from repro.optim.profile import ExecutionProfile
+from repro.trace.kernels import build_program
+from repro.trace.program import Program
+
+__all__ = ["Build", "build_default", "build_autofdo", "build_graphite"]
+
+
+@dataclass(frozen=True)
+class Build:
+    """One compiled configuration of the encoder."""
+
+    name: str
+    program: Program
+    loop_opts: LoopOptimizations = field(default_factory=LoopOptimizations)
+    flags: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        flag_str = " ".join(self.flags) if self.flags else "-O2"
+        return f"{self.name}: {flag_str} layout={self.program.layout.description}"
+
+
+def build_default() -> Build:
+    """The stock binary the paper's baseline measurements use."""
+    return Build(name="default", program=build_program(), flags=("-O2",))
+
+
+def build_autofdo(profile: ExecutionProfile) -> Build:
+    """Recompile with AutoFDO using a collected training profile."""
+    program = autofdo_optimize(build_program(), profile)
+    return Build(
+        name="autofdo",
+        program=program,
+        flags=("-O2", "-fauto-profile=perf.afdo"),
+    )
+
+
+def build_graphite() -> Build:
+    """Recompile with GCC's polyhedral optimizer enabled."""
+    program = build_program()
+    report = analyze_kernels(program.kernels)
+    return Build(
+        name="graphite",
+        program=program,
+        loop_opts=report.loop_opts,
+        flags=("-O2",) + GRAPHITE_FLAGS,
+    )

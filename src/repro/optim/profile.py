@@ -1,0 +1,76 @@
+"""Execution profiles: what ``perf record`` hands to AutoFDO.
+
+An :class:`ExecutionProfile` aggregates, per kernel, how many dynamic
+instructions it retired and how many times it was invoked, plus the
+taken-bias of every recorded branch site. AutoFDO consumes it to rank
+code by heat and to seed branch hints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import BranchEvent, TraceStream
+
+__all__ = ["ExecutionProfile", "collect_profile"]
+
+
+@dataclass
+class ExecutionProfile:
+    """Aggregated sampled profile of one or more training runs."""
+
+    kernel_instructions: dict[str, float] = field(default_factory=dict)
+    kernel_calls: dict[str, int] = field(default_factory=dict)
+    # site -> (taken_count, total_count)
+    branch_bias: dict[str, tuple[float, float]] = field(default_factory=dict)
+    total_instructions: float = 0.0
+    n_runs: int = 0
+
+    def merge_stream(self, stream: TraceStream) -> None:
+        """Fold one training run's trace into the profile."""
+        for kernel, mix in stream.instr_by_kernel.items():
+            self.kernel_instructions[kernel] = (
+                self.kernel_instructions.get(kernel, 0.0) + mix.total
+            )
+        for kernel, calls in stream.kernel_calls.items():
+            self.kernel_calls[kernel] = self.kernel_calls.get(kernel, 0) + calls
+        for event in stream.iter_events():
+            if isinstance(event, BranchEvent):
+                taken = float(np.count_nonzero(event.outcomes)) * event.weight
+                total = float(event.outcomes.size) * event.weight
+                t0, n0 = self.branch_bias.get(event.site, (0.0, 0.0))
+                self.branch_bias[event.site] = (t0 + taken, n0 + total)
+        self.total_instructions += stream.total_instructions
+        self.n_runs += 1
+
+    def heat(self, kernel: str) -> float:
+        """Fraction of profiled instructions spent in ``kernel``."""
+        if self.total_instructions <= 0:
+            return 0.0
+        return self.kernel_instructions.get(kernel, 0.0) / self.total_instructions
+
+    def hottest_first(self) -> list[str]:
+        """Kernel names ordered by decreasing heat."""
+        return sorted(
+            self.kernel_instructions,
+            key=lambda k: -self.kernel_instructions[k],
+        )
+
+    def site_bias(self, site: str) -> float:
+        """Taken probability of a branch site (0.5 if unseen)."""
+        taken, total = self.branch_bias.get(site, (0.0, 0.0))
+        if total <= 0:
+            return 0.5
+        return taken / total
+
+
+def collect_profile(streams: list[TraceStream]) -> ExecutionProfile:
+    """Build a profile from training-run traces (the ``perf`` step)."""
+    if not streams:
+        raise ValueError("collect_profile requires at least one trace")
+    profile = ExecutionProfile()
+    for stream in streams:
+        profile.merge_stream(stream)
+    return profile

@@ -1,0 +1,24 @@
+"""Profiling tools: the paper's VTune / Linux-perf equivalents.
+
+- :mod:`repro.profiling.perf` — one-call "perf stat"-style profiling of a
+  transcode (encode under a recording tracer, then simulate);
+- :mod:`repro.profiling.counters` — the counter set the paper reports
+  (MPKI, resource stalls, top-down percentages) as a flat record;
+- :mod:`repro.profiling.vtune` — top-down report formatting;
+- :mod:`repro.profiling.roofline` — the roofline model the paper uses to
+  explain its trends (§IV-A).
+"""
+
+from repro.profiling.counters import CounterSet
+from repro.profiling.perf import ProfileResult, profile_transcode
+from repro.profiling.roofline import RooflineModel, RooflinePoint
+from repro.profiling.vtune import topdown_report
+
+__all__ = [
+    "CounterSet",
+    "ProfileResult",
+    "profile_transcode",
+    "RooflineModel",
+    "RooflinePoint",
+    "topdown_report",
+]

@@ -1,0 +1,49 @@
+"""VTune-style top-down report rendering.
+
+Formats a :class:`~repro.uarch.simulator.SimReport` the way Intel VTune's
+General Exploration / Microarchitecture Exploration view presents the
+Top-down hierarchy: the four level-1 categories with the back end split
+into memory and core bound, plus the supporting raw counters.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.simulator import SimReport
+
+__all__ = ["topdown_report"]
+
+
+def _bar(pct: float, width: int = 30) -> str:
+    filled = int(round(pct / 100.0 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def topdown_report(report: SimReport, *, title: str = "transcode") -> str:
+    """Render a human-readable top-down analysis."""
+    td = report.topdown
+    lines = [
+        f"Top-down Microarchitecture Analysis — {title}",
+        f"  config: {report.config_name}   instructions: {report.instructions:.3e}"
+        f"   cycles: {report.cycles:.3e}   IPC: {report.ipc:.2f}",
+        "",
+        f"  Retiring          {td.retiring:6.2f}%  |{_bar(td.retiring)}|",
+        f"  Bad Speculation   {td.bad_speculation:6.2f}%  |{_bar(td.bad_speculation)}|",
+        f"  Front-End Bound   {td.frontend_bound:6.2f}%  |{_bar(td.frontend_bound)}|",
+        "    (decode/MITE-DSB "
+        f"{100 * report.extra.get('fe_decode_frac', 0.0):.0f}%, i-cache "
+        f"{100 * report.extra.get('fe_icache_frac', 0.0):.0f}%, iTLB "
+        f"{100 * report.extra.get('fe_itlb_frac', 0.0):.0f}%)",
+        f"  Back-End Bound    {td.backend_bound:6.2f}%  |{_bar(td.backend_bound)}|",
+        f"    Memory Bound    {td.memory_bound:6.2f}%",
+        f"    Core Bound      {td.core_bound:6.2f}%",
+        "",
+        "  MPKI:  "
+        + "  ".join(
+            f"{k}={v:.3f}"
+            for k, v in report.mpki.items()
+            if k in ("l1d", "l2d", "l3d", "l1i", "branch")
+        ),
+        "  Resource stalls (cycles/kilo-instr):  "
+        + "  ".join(f"{k}={v:.2f}" for k, v in report.resource_stalls_pki.items()),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Smart transcoding-task scheduling across µarch configurations (§III-D2).
+
+Streaming providers run fleets with heterogeneous server generations; the
+paper shows that characterization-driven placement of transcoding tasks
+onto the configuration that relieves each task's dominant bottleneck
+recovers most of the oracle scheduler's benefit. This package implements
+the paper's case study: the four Table III tasks, the four Table IV
+configuration variants, and the random / smart / best schedulers of
+Figure 9.
+"""
+
+from repro.scheduling.adaptive import (
+    OperatingPoint,
+    pareto_frontier,
+    select_for_bandwidth,
+    select_for_deadline,
+)
+from repro.scheduling.casestudy import CaseStudyResult, run_case_study
+from repro.scheduling.schedulers import (
+    Assignment,
+    BestScheduler,
+    RandomScheduler,
+    SmartScheduler,
+)
+from repro.scheduling.task import TABLE_III_TASKS, TranscodeTask
+
+__all__ = [
+    "TranscodeTask",
+    "TABLE_III_TASKS",
+    "Assignment",
+    "RandomScheduler",
+    "SmartScheduler",
+    "BestScheduler",
+    "run_case_study",
+    "CaseStudyResult",
+    "OperatingPoint",
+    "pareto_frontier",
+    "select_for_bandwidth",
+    "select_for_deadline",
+]

@@ -1,0 +1,113 @@
+"""Adaptive-streaming parameter selection (extension, paper §V).
+
+The paper's closing argument: "As we investigate the impact of changes in
+transcoding parameters, our results can guide better resource utilization
+for these adaptive video streaming services." This module implements that
+guidance: given profiled sweep records for a clip, it builds the
+rate-quality-compute frontier and answers the two questions an adaptive
+service asks per segment:
+
+- :func:`select_for_bandwidth` — the best-quality operating point whose
+  bitrate fits the client's bandwidth;
+- :func:`select_for_deadline` — the best-quality point whose (simulated)
+  transcode time fits the compute budget, e.g. for live re-encodes.
+
+Points that are dominated on all three axes are pruned first, so the
+selectors only ever pick Pareto-efficient parameter combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.experiments.runner import SweepRecord
+
+__all__ = [
+    "OperatingPoint",
+    "pareto_frontier",
+    "select_for_bandwidth",
+    "select_for_deadline",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One encodable configuration with its measured outcomes."""
+
+    crf: int
+    refs: int
+    preset: str
+    psnr_db: float
+    bitrate_kbps: float
+    time_seconds: float
+
+    @staticmethod
+    def from_record(record: SweepRecord) -> "OperatingPoint":
+        c = record.counters
+        return OperatingPoint(
+            crf=record.crf,
+            refs=record.refs,
+            preset=record.preset,
+            psnr_db=c.psnr_db,
+            bitrate_kbps=c.bitrate_kbps,
+            time_seconds=c.time_seconds,
+        )
+
+    def dominates(self, other: "OperatingPoint") -> bool:
+        """Better-or-equal on all three axes, strictly better on one."""
+        ge = (
+            self.psnr_db >= other.psnr_db
+            and self.bitrate_kbps <= other.bitrate_kbps
+            and self.time_seconds <= other.time_seconds
+        )
+        gt = (
+            self.psnr_db > other.psnr_db
+            or self.bitrate_kbps < other.bitrate_kbps
+            or self.time_seconds < other.time_seconds
+        )
+        return ge and gt
+
+
+def pareto_frontier(records: list[SweepRecord]) -> list[OperatingPoint]:
+    """Non-dominated operating points, sorted by bitrate ascending."""
+    if not records:
+        raise ValueError("need at least one sweep record")
+    points = [OperatingPoint.from_record(r) for r in records]
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    frontier.sort(key=lambda p: (p.bitrate_kbps, -p.psnr_db))
+    return frontier
+
+
+def select_for_bandwidth(
+    records: list[SweepRecord], bandwidth_kbps: float
+) -> OperatingPoint | None:
+    """Best-quality Pareto point whose bitrate fits ``bandwidth_kbps``.
+
+    Returns ``None`` when even the smallest point exceeds the budget (the
+    service should then drop resolution, which is outside this sweep).
+    """
+    check_positive("bandwidth_kbps", bandwidth_kbps)
+    feasible = [
+        p for p in pareto_frontier(records) if p.bitrate_kbps <= bandwidth_kbps
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: (p.psnr_db, -p.bitrate_kbps))
+
+
+def select_for_deadline(
+    records: list[SweepRecord], deadline_seconds: float
+) -> OperatingPoint | None:
+    """Best-quality Pareto point transcodable within ``deadline_seconds``."""
+    check_positive("deadline_seconds", deadline_seconds)
+    feasible = [
+        p for p in pareto_frontier(records) if p.time_seconds <= deadline_seconds
+    ]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: (p.psnr_db, -p.time_seconds))

@@ -1,0 +1,36 @@
+"""Characterization-driven task↔configuration affinity scoring.
+
+The smart scheduler never sees the per-configuration runtimes (that would
+be the oracle). Instead it profiles each task once on the *baseline*
+configuration and scores how much each Table IV variant should help,
+using the paper's own characterization logic: a task's dominant top-down
+bottleneck points at the configuration built to relieve it —
+
+- high front-end bound / L1i MPKI   → ``fe_op``  (bigger L1i + iTLB),
+- high memory bound / L2-L3 MPKI    → ``be_op1`` (bigger data caches),
+- high back-end resource stalls     → ``be_op2`` (bigger ROB/RS window),
+- high bad speculation / branch MPKI → ``bs_op`` (TAGE predictor).
+"""
+
+from __future__ import annotations
+
+from repro.profiling.counters import CounterSet
+
+__all__ = ["affinity_scores"]
+
+
+def affinity_scores(counters: CounterSet) -> dict[str, float]:
+    """Predicted relative benefit of each config for one profiled task.
+
+    Scores are in arbitrary comparable units (bigger = better fit); each
+    is the share of pipeline slots (plus a counter-based tiebreaker) that
+    the configuration's extra resources attack.
+    """
+    # Counter tiebreakers are scaled to stay subordinate to slot shares.
+    fe = counters.frontend_bound + 0.1 * counters.l1i_mpki
+    be1 = counters.memory_bound + 0.1 * (counters.l2_mpki + counters.l3_mpki)
+    be2 = counters.core_bound + 0.5 * counters.memory_bound + 0.01 * (
+        counters.stall_rob_pki + counters.stall_rs_pki
+    )
+    bs = counters.bad_speculation + 0.1 * counters.branch_mpki
+    return {"fe_op": fe, "be_op1": be1, "be_op2": be2, "bs_op": bs}

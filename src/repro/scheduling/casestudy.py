@@ -1,0 +1,116 @@
+"""The paper's scheduler case study (Figure 9).
+
+Simulates each Table III task on the baseline and all four Table IV
+variants, then evaluates the random / smart / best schedulers. The smart
+scheduler only gets the baseline profiling counters (the
+characterization), never the per-variant runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.counters import CounterSet
+from repro.profiling.perf import profile_transcode
+from repro.scheduling.schedulers import (
+    Assignment,
+    BestScheduler,
+    RandomScheduler,
+    SmartScheduler,
+)
+from repro.scheduling.task import TABLE_III_TASKS, TranscodeTask
+from repro.trace.kernels import build_program
+from repro.trace.recorder import RecordingTracer
+from repro.uarch.configs import config_by_name
+from repro.uarch.simulator import simulate
+
+__all__ = ["CaseStudyResult", "run_case_study"]
+
+_VARIANTS = ("fe_op", "be_op1", "be_op2", "bs_op")
+
+
+@dataclass
+class CaseStudyResult:
+    """Everything Figure 9 needs."""
+
+    tasks: list[TranscodeTask]
+    config_names: list[str]
+    cycles: dict[int, dict[str, float]]  # task -> config -> cycles
+    baseline_cycles: dict[int, float]
+    counters: dict[int, CounterSet]
+    assignments: dict[str, Assignment]
+
+    @property
+    def smart_vs_random_pct(self) -> float:
+        """How much the smart scheduler beats random, in percentage points
+        of mean speedup (the paper's 3.72% number)."""
+        return (
+            self.assignments["smart"].mean_speedup_pct
+            - self.assignments["random"].mean_speedup_pct
+        )
+
+    @property
+    def smart_matches_best_fraction(self) -> float:
+        """Fraction of tasks the smart scheduler placed exactly where the
+        best scheduler did (the paper's 75%)."""
+        smart = self.assignments["smart"].placement
+        best = self.assignments["best"].placement
+        matches = sum(1 for t in smart if smart[t] == best[t])
+        return matches / len(smart)
+
+
+def run_case_study(
+    tasks: tuple[TranscodeTask, ...] = TABLE_III_TASKS,
+    *,
+    width: int = 112,
+    height: int = 64,
+    n_frames: int = 10,
+    data_capacity_scale: float = 48.0,
+) -> CaseStudyResult:
+    """Run the full Figure 9 experiment at the given proxy scale."""
+    program = build_program()
+    config_names = list(_VARIANTS)
+
+    cycles: dict[int, dict[str, float]] = {}
+    baseline_cycles: dict[int, float] = {}
+    counters: dict[int, CounterSet] = {}
+
+    for task in tasks:
+        video = task.load(width=width, height=height, n_frames=n_frames)
+        options = task.options()
+        # One traced encode per task; the trace replays on every config.
+        tracer = RecordingTracer(program)
+        from repro.codec.encoder import Encoder
+
+        encode_result = Encoder(options, tracer=tracer).encode(video)
+        base_cfg = config_by_name(
+            "baseline", data_capacity_scale=data_capacity_scale
+        )
+        base_report = simulate(tracer.stream, program, base_cfg)
+        baseline_cycles[task.task_id] = base_report.cycles
+        counters[task.task_id] = CounterSet.from_report(
+            base_report,
+            psnr_db=encode_result.psnr_db,
+            bitrate_kbps=encode_result.bitrate_kbps,
+        )
+        cycles[task.task_id] = {}
+        for name in config_names:
+            cfg = config_by_name(name, data_capacity_scale=data_capacity_scale)
+            report = simulate(tracer.stream, program, cfg)
+            cycles[task.task_id][name] = report.cycles
+
+    task_list = list(tasks)
+    assignments = {
+        s.name: s.schedule(
+            task_list, cycles, config_names, baseline_cycles, counters
+        )
+        for s in (RandomScheduler(), SmartScheduler(), BestScheduler())
+    }
+    return CaseStudyResult(
+        tasks=task_list,
+        config_names=config_names,
+        cycles=cycles,
+        baseline_cycles=baseline_cycles,
+        counters=counters,
+        assignments=assignments,
+    )

@@ -1,0 +1,101 @@
+"""Trace event containers.
+
+A :class:`TraceStream` is the ordered record of one encoding run:
+kernel invocations (instruction execution), memory accesses (data reads
+and writes plus instruction fetches), and conditional-branch outcome
+sequences per static branch site. Events may carry a ``weight`` > 1 when
+the recorder sampled (recorded every Nth invocation): counters derived
+from the event are scaled by the weight, while exact totals (instruction
+counts) are kept separately and are never sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.program import InstrMix
+
+__all__ = ["KernelEvent", "MemoryEvent", "BranchEvent", "TraceStream"]
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One (possibly weighted) kernel invocation."""
+
+    kernel: str
+    iters: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """A batch of memory accesses from one kernel invocation.
+
+    ``kind`` is ``"r"`` (data read), ``"w"`` (data write) or ``"i"``
+    (instruction fetch). Addresses are byte addresses; the cache model
+    reduces them to line granularity.
+    """
+
+    kernel: str
+    addrs: np.ndarray  # uint64 byte addresses
+    kind: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("r", "w", "i"):
+            raise ValueError(f"kind must be 'r', 'w' or 'i', got {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """Outcome sequence of one static branch site in one invocation."""
+
+    site: str  # "kernel:tag"
+    outcomes: np.ndarray  # bool
+    weight: float = 1.0
+
+
+@dataclass
+class TraceStream:
+    """The full trace of one encoding run."""
+
+    events: list[object] = field(default_factory=list)
+    # Exact (unsampled) aggregate counters.
+    instr: InstrMix = field(default_factory=InstrMix)
+    instr_by_kernel: dict[str, InstrMix] = field(default_factory=dict)
+    kernel_calls: dict[str, int] = field(default_factory=dict)
+    n_frames: int = 0
+    # Exact totals of *data* traffic, for roofline operational intensity.
+    data_reads: float = 0.0
+    data_writes: float = 0.0
+
+    @property
+    def total_instructions(self) -> float:
+        return self.instr.total
+
+    @property
+    def total_branches(self) -> float:
+        return self.instr.branch
+
+    def add_instr(self, kernel: str, mix: InstrMix) -> None:
+        self.instr = self.instr + mix
+        if kernel in self.instr_by_kernel:
+            self.instr_by_kernel[kernel] = self.instr_by_kernel[kernel] + mix
+        else:
+            self.instr_by_kernel[kernel] = mix
+
+    def iter_events(self):
+        return iter(self.events)
+
+    def summary(self) -> dict[str, float]:
+        """Headline totals, mostly for logging and tests."""
+        return {
+            "instructions": self.total_instructions,
+            "branches": self.total_branches,
+            "loads": self.instr.load,
+            "stores": self.instr.store,
+            "events": float(len(self.events)),
+            "frames": float(self.n_frames),
+        }

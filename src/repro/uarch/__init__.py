@@ -1,0 +1,27 @@
+"""Sniper-style mechanistic CPU microarchitecture simulator.
+
+Consumes the instruction/memory/branch trace produced by
+:mod:`repro.trace` and produces cycle counts, Top-down pipeline-slot
+breakdowns (retiring / bad-speculation / front-end / back-end, per Yasin's
+Top-down method the paper uses via VTune), cache/branch MPKI, and
+resource-stall counters (ROB / RS / store buffer) — the full counter
+surface the paper reports.
+
+The five Table IV configurations (``baseline`` a.k.a. gainestown,
+``fe_op``, ``be_op1``, ``be_op2``, ``bs_op``) ship in
+:mod:`repro.uarch.configs`.
+"""
+
+from repro.uarch.config import MicroarchConfig
+from repro.uarch.configs import CONFIGS, baseline_config, config_by_name
+from repro.uarch.simulator import SimReport, Simulator, simulate
+
+__all__ = [
+    "MicroarchConfig",
+    "CONFIGS",
+    "baseline_config",
+    "config_by_name",
+    "Simulator",
+    "SimReport",
+    "simulate",
+]

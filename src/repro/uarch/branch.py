@@ -1,0 +1,179 @@
+"""Branch predictor models: static, Pentium-M-style two-level, and TAGE.
+
+The trace records, per static branch site, the full sequence of outcomes
+of its data-dependent branches (in program order, concatenated across
+kernel invocations). Predictors are evaluated analytically on those
+sequences: a two-level adaptive predictor with a k-bit local history
+converges to predicting, for each observed history pattern, the majority
+next-outcome — so its steady-state mispredictions are exactly the
+minority counts per pattern, plus a training cost of one miss per
+distinct pattern. TAGE is modeled as the best of several history lengths
+per site (its tagged geometric-history tables effectively give every
+branch the history length that predicts it best) with a small tag/alias
+overhead. This analytic evaluation is orders of magnitude faster than a
+stateful per-branch loop and is exact in the steady state.
+
+Loop-control branches (the difference between the instruction mix's
+branch count and the recorded data-dependent branches) are near-perfectly
+predictable; they contribute a small base misprediction rate for loop
+exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro._util import check_choice
+
+__all__ = ["BranchModel", "BranchStats", "two_level_mispredicts"]
+
+#: Base misprediction rate of loop-control branches (loop exits).
+_LOOP_MISPREDICT_RATE = {"static": 0.010, "pentium_m": 0.003, "tage": 0.0015}
+
+#: History lengths TAGE effectively chooses among (geometric series).
+_TAGE_HISTORIES = (2, 4, 8, 16, 32)
+
+_PENTIUM_M_HISTORY = 6
+
+#: Destructive-aliasing inflation of untagged two-level tables.
+_PM_ALIASING = 1.2
+#: TAGE's per-pattern history selection beats the per-site best-history
+#: bound by roughly this factor on branchy integer code.
+_TAGE_FACTOR = 0.55
+
+
+@dataclass
+class BranchStats:
+    """Aggregate branch prediction outcome for one simulated run."""
+
+    total_branches: float = 0.0
+    mispredicts: float = 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.total_branches <= 0:
+            return 0.0
+        return self.mispredicts / self.total_branches
+
+    def mpki(self, instructions: float) -> float:
+        if instructions <= 0:
+            return 0.0
+        return self.mispredicts * 1000.0 / instructions
+
+
+def two_level_mispredicts(outcomes: np.ndarray, history_bits: int) -> float:
+    """Steady-state + training mispredictions of a two-level predictor.
+
+    For each ``history_bits``-length pattern, the predictor learns the
+    majority next outcome; mispredictions are the minority occurrences.
+    The first occurrence of each distinct pattern is charged as a
+    training miss. The first ``history_bits`` branches (history warm-up)
+    are charged at 50%.
+    """
+    n = outcomes.size
+    if n == 0:
+        return 0.0
+    if history_bits <= 0:
+        # Degenerate bimodal: majority vote over the whole stream.
+        taken = float(np.count_nonzero(outcomes))
+        return min(taken, n - taken) + 1.0
+    if n <= history_bits:
+        return n * 0.5
+    out = outcomes.astype(np.int64)
+    windows = sliding_window_view(out, history_bits)[:-1]  # history before each
+    powers = (1 << np.arange(history_bits, dtype=np.int64))[::-1]
+    patterns = windows @ powers
+    nexts = out[history_bits:]
+    keys = patterns * 2 + nexts
+    # Sparse counting: long histories make the dense pattern space huge
+    # (2^33 for 32-bit TAGE components) but only a few patterns occur.
+    unique_keys, counts = np.unique(keys, return_counts=True)
+    pats = unique_keys >> 1
+    # unique_keys is sorted, so the two outcomes of one pattern (if both
+    # occur) are adjacent; the minority count is the steady-state misses.
+    same = pats[1:] == pats[:-1]
+    steady = float(np.minimum(counts[1:][same], counts[:-1][same]).sum())
+    training = float(pats.size - np.count_nonzero(same))
+    warmup = history_bits * 0.5
+    return steady + training + warmup
+
+
+class BranchModel:
+    """Evaluate one predictor over per-site outcome sequences."""
+
+    def __init__(self, kind: str) -> None:
+        check_choice("kind", kind, ("static", "pentium_m", "tage"))
+        self.kind = kind
+        self._site_outcomes: dict[str, list[tuple[np.ndarray, float]]] = {}
+
+    def record(self, site: str, outcomes: np.ndarray, weight: float = 1.0) -> None:
+        """Append a weighted outcome sequence for a static branch site."""
+        self._site_outcomes.setdefault(site, []).append(
+            (np.asarray(outcomes, dtype=bool), weight)
+        )
+
+    def _site_mispredicts(self, outcomes: np.ndarray, branch_hints: bool) -> float:
+        if self.kind == "static":
+            taken = float(np.count_nonzero(outcomes))
+            not_taken = outcomes.size - taken
+            if branch_hints:
+                return min(taken, not_taken)
+            # Without profile hints: static predicts not-taken.
+            return taken
+        # Both real predictors include a bimodal base table, so they are
+        # never worse than simply predicting each site's majority outcome.
+        taken = float(np.count_nonzero(outcomes))
+        bimodal = min(taken, outcomes.size - taken) + 1.0
+        if self.kind == "pentium_m":
+            # Untagged two-level tables suffer destructive aliasing
+            # between sites; a fixed inflation models that interference.
+            m = min(
+                two_level_mispredicts(outcomes, _PENTIUM_M_HISTORY) * _PM_ALIASING,
+                bimodal,
+            )
+        else:  # tage
+            best = min(
+                two_level_mispredicts(outcomes, h) for h in _TAGE_HISTORIES
+            )
+            # Tagged geometric tables pick the best history length *per
+            # pattern*, not per site, and avoid aliasing entirely — a
+            # further constant-factor win over the per-site best-history
+            # bound, at a small allocation overhead.
+            m = min(best * _TAGE_FACTOR + 1.0, bimodal)
+        if branch_hints:
+            # Profile-informed layout seeds sensible static predictions,
+            # cutting the predictor's training-time losses.
+            m = max(m * 0.9, 0.0)
+        return m
+
+    def evaluate(
+        self,
+        *,
+        total_branches: float,
+        branch_hints: bool = False,
+    ) -> BranchStats:
+        """Total mispredictions given all recorded sites.
+
+        ``total_branches`` is the exact dynamic branch count from the
+        instruction mix; recorded data-dependent branches are evaluated
+        through the predictor model, the remainder are loop-control
+        branches at the predictor's base rate.
+        """
+        recorded = 0.0
+        mispredicts = 0.0
+        for sequences in self._site_outcomes.values():
+            # All sequences of a site share one predictor entry: evaluate
+            # the concatenation (weights are typically uniform; a weighted
+            # mix uses the mean weight as the scale factor).
+            arrays = [a for a, _w in sequences]
+            weights = np.array([w for _a, w in sequences])
+            outcomes = np.concatenate(arrays)
+            scale = float(weights.mean())
+            recorded += outcomes.size * scale
+            mispredicts += self._site_mispredicts(outcomes, branch_hints) * scale
+        loop_branches = max(total_branches - recorded, 0.0)
+        mispredicts += loop_branches * _LOOP_MISPREDICT_RATE[self.kind]
+        return BranchStats(total_branches=total_branches, mispredicts=mispredicts)

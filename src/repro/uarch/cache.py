@@ -1,0 +1,134 @@
+"""Set-associative LRU caches and a multi-level hierarchy.
+
+The hierarchy is non-inclusive with allocate-on-miss at every level.
+Accesses arrive as numpy arrays of byte addresses; the per-address LRU
+walk is a tight Python loop (the dominant simulation cost), so callers
+should pass line-collapsed streams where possible — the hierarchy itself
+collapses consecutive same-line accesses, which are guaranteed hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.uarch.config import CacheParams
+
+__all__ = ["Cache", "CacheStats", "CacheHierarchy"]
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters for one cache level (weighted)."""
+
+    accesses: float = 0.0
+    misses: float = 0.0
+
+    @property
+    def hits(self) -> float:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: float) -> float:
+        """Misses per kilo instructions."""
+        if instructions <= 0:
+            return 0.0
+        return self.misses * 1000.0 / instructions
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self.n_sets = params.n_sets
+        self.assoc = params.assoc
+        self._line_shift = int(params.line_bytes).bit_length() - 1
+        if params.line_bytes != (1 << self._line_shift):
+            raise ValueError("line_bytes must be a power of two")
+        # Per-set LRU stacks: most recently used at the END of the list.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def access_line(self, line: int, weight: float = 1.0) -> bool:
+        """Access one line address; returns True on hit."""
+        s = self._sets[line % self.n_sets]
+        self.stats.accesses += weight
+        try:
+            s.remove(line)
+        except ValueError:
+            self.stats.misses += weight
+            if len(s) >= self.assoc:
+                s.pop(0)
+            s.append(line)
+            return False
+        s.append(line)
+        return True
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+@dataclass
+class HierarchyStats:
+    """Stats for every level plus memory-access totals."""
+
+    levels: dict[str, CacheStats] = field(default_factory=dict)
+    mem_accesses: float = 0.0
+
+
+class CacheHierarchy:
+    """A chain of cache levels backed by memory.
+
+    ``levels`` order is nearest-first (e.g. [L1d, L2, L3]). A miss at
+    level *i* probes level *i+1*; a miss at the last level counts as a
+    memory access. Each level allocates on miss (non-inclusive victim
+    behaviour is not modeled).
+    """
+
+    def __init__(self, levels: list[Cache]) -> None:
+        if not levels:
+            raise ValueError("hierarchy requires at least one level")
+        self.levels = levels
+        self.mem_accesses = 0.0
+
+    def access(self, addrs: np.ndarray, weight: float = 1.0) -> None:
+        """Run a batch of byte addresses through the hierarchy."""
+        if addrs.size == 0:
+            return
+        first = self.levels[0]
+        lines = (addrs >> np.uint64(first._line_shift)).astype(np.int64)
+        if lines.size > 1:
+            # Collapse consecutive same-line accesses (guaranteed hits).
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            collapsed = lines[keep]
+            # The collapsed-away accesses still count as L1 hits.
+            n_extra = float(lines.size - collapsed.size) * weight
+            first.stats.accesses += n_extra
+            lines = collapsed
+        levels = self.levels
+        n_levels = len(levels)
+        for line in lines.tolist():
+            level = 0
+            while level < n_levels:
+                if levels[level].access_line(line, weight):
+                    break
+                level += 1
+            else:
+                self.mem_accesses += weight
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            levels={c.name: c.stats for c in self.levels},
+            mem_accesses=self.mem_accesses,
+        )

@@ -1,0 +1,77 @@
+"""The five Table IV microarchitecture configurations.
+
+``baseline`` is Sniper's default Gainestown-like core. The four variants
+change exactly the parameters the paper lists:
+
+- ``fe_op``  — front-end optimized: L1i 64K, iTLB 256;
+- ``be_op1`` — back-end (memory): L1d 64K, L2 512K, L3 4096K, +L4 16384K;
+- ``be_op2`` — back-end (window): ROB 256, RS 72, issue at dispatch;
+- ``bs_op``  — bad-speculation optimized: TAGE branch predictor.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CacheParams, MicroarchConfig
+
+__all__ = ["baseline_config", "CONFIGS", "CONFIG_NAMES", "config_by_name"]
+
+
+def baseline_config() -> MicroarchConfig:
+    """Sniper's default Gainestown configuration (Table IV row 1)."""
+    return MicroarchConfig(name="baseline")
+
+
+def _fe_op() -> MicroarchConfig:
+    return baseline_config().with_updates(
+        name="fe_op",
+        l1i=CacheParams(64 * 1024, 8, latency=4),
+        itlb_entries=256,
+    )
+
+
+def _be_op1() -> MicroarchConfig:
+    return baseline_config().with_updates(
+        name="be_op1",
+        l1d=CacheParams(64 * 1024, 8, latency=4),
+        l2=CacheParams(512 * 1024, 8, latency=12),
+        l3=CacheParams(4 * 1024 * 1024, 16, latency=35),
+        l4=CacheParams(16 * 1024 * 1024, 16, latency=60),
+    )
+
+
+def _be_op2() -> MicroarchConfig:
+    return baseline_config().with_updates(
+        name="be_op2",
+        rob_size=256,
+        rs_size=72,
+        issue_at_dispatch=True,
+    )
+
+
+def _bs_op() -> MicroarchConfig:
+    return baseline_config().with_updates(
+        name="bs_op",
+        branch_predictor="tage",
+    )
+
+
+CONFIG_NAMES = ("baseline", "fe_op", "be_op1", "be_op2", "bs_op")
+
+CONFIGS: dict[str, MicroarchConfig] = {
+    "baseline": baseline_config(),
+    "fe_op": _fe_op(),
+    "be_op1": _be_op1(),
+    "be_op2": _be_op2(),
+    "bs_op": _bs_op(),
+}
+
+
+def config_by_name(name: str, *, data_capacity_scale: float = 1.0) -> MicroarchConfig:
+    """Fetch a Table IV configuration, optionally capacity-scaled."""
+    try:
+        config = CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown config {name!r}; known: {CONFIG_NAMES}") from None
+    if data_capacity_scale != 1.0:
+        config = config.with_updates(data_capacity_scale=data_capacity_scale)
+    return config

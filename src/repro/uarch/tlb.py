@@ -1,0 +1,62 @@
+"""Instruction TLB model (fully associative, LRU).
+
+Table IV's ``fe_op`` configuration doubles the iTLB (128 → 256 entries),
+so the front-end model needs a real TLB: i-fetch addresses are reduced to
+page numbers and run through an LRU stack; each miss costs a page-walk
+penalty in front-end stall cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """Fully associative LRU TLB."""
+
+    def __init__(self, entries: int, page_bytes: int = 4096, name: str = "itlb"):
+        check_positive("entries", entries)
+        check_positive("page_bytes", page_bytes)
+        self.entries = int(entries)
+        self.name = name
+        self._page_shift = int(page_bytes).bit_length() - 1
+        if page_bytes != (1 << self._page_shift):
+            raise ValueError("page_bytes must be a power of two")
+        self._stack: list[int] = []  # MRU at the end
+        self.accesses = 0.0
+        self.misses = 0.0
+
+    def access(self, addrs: np.ndarray, weight: float = 1.0) -> None:
+        """Translate a batch of byte addresses."""
+        if addrs.size == 0:
+            return
+        pages = (addrs >> np.uint64(self._page_shift)).astype(np.int64)
+        if pages.size > 1:
+            keep = np.empty(pages.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(pages[1:], pages[:-1], out=keep[1:])
+            self.accesses += float(pages.size - int(keep.sum())) * weight
+            pages = pages[keep]
+        stack = self._stack
+        for page in pages.tolist():
+            self.accesses += weight
+            try:
+                stack.remove(page)
+            except ValueError:
+                self.misses += weight
+                if len(stack) >= self.entries:
+                    stack.pop(0)
+            stack.append(page)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: float) -> float:
+        if instructions <= 0:
+            return 0.0
+        return self.misses * 1000.0 / instructions

@@ -1,0 +1,79 @@
+"""Top-down pipeline-slot accounting (Yasin's method, as used by VTune).
+
+Every cycle offers ``dispatch_width`` pipeline slots. A slot either
+retires a uop (Retiring), is wasted on a squashed path / recovery bubble
+(Bad Speculation), is empty because the front end failed to supply a uop
+(Front-End Bound), or is refused because the back end could not accept it
+(Back-End Bound). We build the breakdown constructively from stall-cycle
+components, so the four categories always sum to exactly 100% of slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TopdownBreakdown"]
+
+
+@dataclass(frozen=True)
+class TopdownBreakdown:
+    """Slot percentages plus the memory/core split of back-end bound."""
+
+    retiring: float
+    bad_speculation: float
+    frontend_bound: float
+    backend_bound: float
+    memory_bound: float  # component of backend_bound
+    core_bound: float  # component of backend_bound
+
+    def __post_init__(self) -> None:
+        total = (
+            self.retiring
+            + self.bad_speculation
+            + self.frontend_bound
+            + self.backend_bound
+        )
+        if not abs(total - 100.0) < 1e-6:
+            raise ValueError(f"top-down categories must sum to 100, got {total}")
+        if not abs(self.memory_bound + self.core_bound - self.backend_bound) < 1e-6:
+            raise ValueError("memory_bound + core_bound must equal backend_bound")
+
+    @staticmethod
+    def from_cycles(
+        *,
+        width: int,
+        uops: float,
+        base_cycles: float,
+        fe_cycles: float,
+        bs_cycles: float,
+        mem_cycles: float,
+        core_cycles: float,
+    ) -> "TopdownBreakdown":
+        """Build the breakdown from additive cycle components.
+
+        ``base_cycles`` are the cycles needed to dispatch all uops at full
+        width; the unused slots within them (width*base - uops) are
+        charged to core bound (dispatch-bandwidth / dependency slack).
+        """
+        total_cycles = base_cycles + fe_cycles + bs_cycles + mem_cycles + core_cycles
+        total_slots = max(total_cycles * width, 1e-9)
+        retiring = uops
+        fe = fe_cycles * width
+        bs = bs_cycles * width
+        mem = mem_cycles * width
+        core = core_cycles * width + max(base_cycles * width - uops, 0.0)
+
+        def pct(x: float) -> float:
+            return 100.0 * x / total_slots
+
+        be = pct(mem) + pct(core)
+        # Normalize the residual rounding into retiring.
+        retiring_pct = 100.0 - pct(fe) - pct(bs) - be
+        return TopdownBreakdown(
+            retiring=retiring_pct,
+            bad_speculation=pct(bs),
+            frontend_bound=pct(fe),
+            backend_bound=be,
+            memory_bound=pct(mem),
+            core_bound=pct(core),
+        )

@@ -1,0 +1,70 @@
+"""Minimal planar-luma video file I/O (a Y4M-like container).
+
+The examples need a way to move clips between tools without any external
+codec, so we define ``.ylm`` ("Y luma"): a one-line ASCII header followed
+by raw 8-bit luma planes, one per frame.
+
+Header format::
+
+    YLM1 width=<int> height=<int> fps=<float> frames=<int>\\n
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.video.frame import Frame, FrameSequence
+
+__all__ = ["write_ylm", "read_ylm"]
+
+_MAGIC = "YLM1"
+
+
+def write_ylm(path: str | os.PathLike[str], sequence: FrameSequence) -> int:
+    """Write a sequence to ``path``; returns the number of bytes written."""
+    header = (
+        f"{_MAGIC} width={sequence.width} height={sequence.height} "
+        f"fps={sequence.fps} frames={len(sequence)}\n"
+    ).encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        for frame in sequence:
+            fh.write(frame.luma.tobytes())
+    return len(header) + sequence.width * sequence.height * len(sequence)
+
+
+def read_ylm(path: str | os.PathLike[str]) -> FrameSequence:
+    """Read a sequence previously written by :func:`write_ylm`."""
+    with open(path, "rb") as fh:
+        header = fh.readline().decode("ascii", errors="replace").strip()
+        fields = header.split()
+        if not fields or fields[0] != _MAGIC:
+            raise ValueError(f"not a {_MAGIC} file: {path}")
+        params: dict[str, str] = {}
+        for token in fields[1:]:
+            if "=" not in token:
+                raise ValueError(f"malformed header token {token!r}")
+            key, value = token.split("=", 1)
+            params[key] = value
+        try:
+            width = int(params["width"])
+            height = int(params["height"])
+            fps = float(params["fps"])
+            n_frames = int(params["frames"])
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"malformed {_MAGIC} header: {header!r}") from exc
+        if width <= 0 or height <= 0 or fps <= 0 or n_frames <= 0:
+            raise ValueError(f"invalid geometry in header: {header!r}")
+        frames = []
+        plane_bytes = width * height
+        for i in range(n_frames):
+            raw = fh.read(plane_bytes)
+            if len(raw) != plane_bytes:
+                raise ValueError(f"truncated frame {i} in {path}")
+            frames.append(
+                Frame(np.frombuffer(raw, dtype=np.uint8).reshape(height, width))
+            )
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return FrameSequence(frames=frames, fps=fps, name=name)

@@ -1,0 +1,94 @@
+"""Integration: the experiment harness and CLI produce the paper's outputs."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig3_heatmaps, fig4_projections, fig5_inefficiency
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    return ExperimentScale(
+        name="micro-int",
+        width=64,
+        height=48,
+        n_frames=8,
+        crf_values=(5, 23, 45),
+        refs_values=(1, 4),
+        sweep_video="cricket",
+        videos=("desktop", "hall"),
+        data_capacity_scale=24.0,
+        fig8_combos=1,
+    )
+
+
+class TestFig3Pipeline:
+    def test_shapes_and_render(self, micro_scale):
+        result = fig3_heatmaps.run(micro_scale)
+        assert result.backend.shape == (2, 3)
+        deltas = result.corner_deltas()
+        # Paper: crf+refs up => BE up, BS down.
+        assert deltas["backend"] > 0
+        assert deltas["bad_speculation"] < 0
+        text = result.render()
+        assert "Front-end bound" in text and "Back-end bound" in text
+
+    def test_sweep_shared_across_figures(self, micro_scale):
+        """Fig 4 and Fig 5 reuse Fig 3's sweep (memoized runner)."""
+        import time
+
+        fig3_heatmaps.run(micro_scale)
+        t0 = time.perf_counter()
+        fig4_projections.run(micro_scale)
+        fig5_inefficiency.run(micro_scale)
+        assert time.perf_counter() - t0 < 2.0  # cache hits only
+
+
+class TestFig4Pipeline:
+    def test_projection_a_quality_ladder(self, micro_scale):
+        result = fig4_projections.run(micro_scale)
+        psnrs = [l.psnr_db for l in result.projection_a]
+        assert psnrs == sorted(psnrs, reverse=True)  # crf ladder
+
+    def test_projection_b_time_grows_with_refs(self, micro_scale):
+        result = fig4_projections.run(micro_scale)
+        for crf in micro_scale.crf_values:
+            times = result.projection_b[crf]
+            assert times[4] > times[1] * 0.95
+
+    def test_render(self, micro_scale):
+        text = fig4_projections.run(micro_scale).render()
+        assert "Projection A" in text and "Projection B" in text
+
+
+class TestFig5Pipeline:
+    def test_all_eight_panels(self, micro_scale):
+        result = fig5_inefficiency.run(micro_scale)
+        assert set(result.grids) == {
+            "branch", "l1", "l2", "l3", "any", "rob", "rs", "sb",
+        }
+
+    def test_headline_trends(self, micro_scale):
+        result = fig5_inefficiency.run(micro_scale)
+        # Branch MPKI falls along crf; L1 MPKI and ROB stalls rise.
+        assert result.trend_along_crf("branch") < 0
+        assert result.trend_along_crf("l1") > 0
+        assert result.trend_along_crf("rob") > 0
+        # SB stalls fall along refs (the paper's exception).
+        assert result.trend_along_refs("sb") < 0
+        # L2 MPKI rises along refs.
+        assert result.trend_along_refs("l2") > 0
+
+
+class TestCli:
+    def test_static_tables(self, capsys):
+        assert main(["tab2"]) == 0
+        assert main(["tab3"]) == 0
+        assert main(["tab4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "Table III" in out and "Table IV" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,113 @@
+"""Integration: the paper's headline microarchitectural trends.
+
+Small-scale versions of the Fig 3/5/7 shape checks — the benchmark
+harness regenerates the full grids; these tests pin the directions.
+"""
+
+import pytest
+
+from repro.codec.options import EncoderOptions
+from repro.profiling.perf import profile_transcode
+from repro.video.vbench import load_video
+
+_SCALE = 24.0
+
+
+@pytest.fixture(scope="module")
+def cricket():
+    return load_video("cricket", width=80, height=48, n_frames=12)
+
+
+@pytest.fixture(scope="module")
+def by_crf(cricket):
+    return {
+        crf: profile_transcode(
+            cricket,
+            EncoderOptions(crf=crf, refs=2, bframes=1),
+            data_capacity_scale=_SCALE,
+        ).counters
+        for crf in (5, 23, 45)
+    }
+
+
+@pytest.fixture(scope="module")
+def by_refs(cricket):
+    return {
+        refs: profile_transcode(
+            cricket,
+            EncoderOptions(crf=23, refs=refs, bframes=1),
+            data_capacity_scale=_SCALE,
+        ).counters
+        for refs in (1, 4)
+    }
+
+
+class TestCrfTrends:
+    def test_backend_bound_rises_with_crf(self, by_crf):
+        assert by_crf[45].backend_bound > by_crf[5].backend_bound
+
+    def test_bad_speculation_falls_with_high_crf(self, by_crf):
+        assert by_crf[45].bad_speculation < by_crf[23].bad_speculation
+
+    def test_branch_mpki_falls_with_high_crf(self, by_crf):
+        assert by_crf[45].branch_mpki < by_crf[23].branch_mpki
+
+    def test_data_mpki_rises_with_crf(self, by_crf):
+        assert by_crf[45].l1d_mpki > by_crf[5].l1d_mpki
+
+    def test_rob_stalls_rise_with_crf(self, by_crf):
+        assert by_crf[45].stall_rob_pki > by_crf[5].stall_rob_pki
+
+    def test_frontend_stays_small(self, by_crf):
+        """'Front-end bound slots represent only a small fraction'."""
+        for counters in by_crf.values():
+            assert counters.frontend_bound < 20.0
+
+
+class TestRefsTrends:
+    def test_l2_mpki_rises_with_refs(self, by_refs):
+        assert by_refs[4].l2_mpki > by_refs[1].l2_mpki
+
+    def test_backend_bound_rises_with_refs(self, by_refs):
+        assert by_refs[4].backend_bound > by_refs[1].backend_bound
+
+    def test_branch_mpki_falls_with_refs(self, by_refs):
+        assert by_refs[4].branch_mpki < by_refs[1].branch_mpki * 1.05
+
+    def test_sb_stalls_fall_with_refs(self, by_refs):
+        """The paper's notable exception: SB stalls shrink as refs grows."""
+        assert by_refs[4].stall_sb_pki < by_refs[1].stall_sb_pki
+
+    def test_frontend_falls_with_refs(self, by_refs):
+        assert by_refs[4].frontend_bound <= by_refs[1].frontend_bound
+
+
+class TestVideoComplexityTrends:
+    @pytest.fixture(scope="class")
+    def by_video(self):
+        opts = EncoderOptions(crf=23, refs=2, bframes=1)
+        out = {}
+        for name in ("desktop", "cricket", "hall"):
+            clip = load_video(name, width=80, height=48, n_frames=10)
+            out[name] = profile_transcode(
+                clip, opts, data_capacity_scale=_SCALE
+            ).counters
+        return out
+
+    def test_entropy_raises_bad_speculation(self, by_video):
+        assert (
+            by_video["hall"].bad_speculation
+            > by_video["desktop"].bad_speculation
+        )
+
+    def test_entropy_lowers_backend_bound(self, by_video):
+        assert by_video["hall"].backend_bound < by_video["desktop"].backend_bound
+
+    def test_entropy_raises_branch_mpki(self, by_video):
+        assert by_video["hall"].branch_mpki > by_video["desktop"].branch_mpki
+
+    def test_entropy_lowers_cache_mpki(self, by_video):
+        assert by_video["hall"].l1d_mpki < by_video["desktop"].l1d_mpki
+
+    def test_entropy_needs_more_bits(self, by_video):
+        assert by_video["hall"].bitrate_kbps > by_video["desktop"].bitrate_kbps * 2

@@ -1,0 +1,82 @@
+"""Integration: the paper's Figure 2 speed/quality/size triangle.
+
+Verifies every arrow of the figure: raising crf actively degrades quality
+and passively shrinks size and speeds up encoding; raising refs actively
+shrinks size and passively slows encoding while leaving quality alone.
+"Time" is simulated transcode time (deterministic), as in the µarch
+experiments.
+"""
+
+import pytest
+
+from repro.codec.options import EncoderOptions
+from repro.profiling.perf import profile_transcode
+from repro.video.synthetic import SceneSpec, generate_scene
+
+
+@pytest.fixture(scope="module")
+def clip():
+    # Moderate motion, moderate texture, enough frames for refs to matter.
+    return generate_scene(
+        SceneSpec(
+            width=64, height=48, n_frames=10, seed=21,
+            texture_detail=0.6, motion_magnitude=0.5, noise_level=0.1,
+            name="triangle",
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(clip):
+    results = {}
+    for crf in (10, 23, 40):
+        for refs in (1, 4):
+            opts = EncoderOptions(crf=crf, refs=refs, bframes=0, scenecut=0)
+            results[(crf, refs)] = profile_transcode(
+                clip, opts, data_capacity_scale=16.0
+            ).counters
+    return results
+
+
+class TestCrfArrows:
+    def test_crf_actively_degrades_quality(self, sweep):
+        assert sweep[(10, 1)].psnr_db > sweep[(23, 1)].psnr_db > sweep[(40, 1)].psnr_db
+
+    def test_crf_passively_shrinks_size(self, sweep):
+        assert (
+            sweep[(10, 1)].bitrate_kbps
+            > sweep[(23, 1)].bitrate_kbps
+            > sweep[(40, 1)].bitrate_kbps
+        )
+
+    def test_crf_passively_speeds_up(self, sweep):
+        assert sweep[(40, 1)].time_seconds < sweep[(10, 1)].time_seconds
+
+
+class TestRefsArrows:
+    def test_refs_actively_shrinks_size(self, sweep):
+        # More reference frames => better compression at every crf.
+        for crf in (10, 23):
+            assert sweep[(crf, 4)].bitrate_kbps <= sweep[(crf, 1)].bitrate_kbps * 1.02
+
+    def test_refs_passively_slows_down(self, sweep):
+        assert sweep[(23, 4)].time_seconds > sweep[(23, 1)].time_seconds
+
+    def test_refs_leaves_quality_roughly_alone(self, sweep):
+        # "refs has no impact on transcoded video quality" (paper §III-A);
+        # allow a small RD-induced wobble.
+        for crf in (10, 23, 40):
+            assert sweep[(crf, 4)].psnr_db == pytest.approx(
+                sweep[(crf, 1)].psnr_db, abs=1.5
+            )
+
+
+class TestDiminishingReturns:
+    def test_low_crf_benefits_more_from_refs(self, sweep):
+        """Paper: 'low crf benefits more from increasing refs'."""
+        def saving(crf):
+            base = sweep[(crf, 1)].bitrate_kbps
+            more = sweep[(crf, 4)].bitrate_kbps
+            return (base - more) / base if base > 0 else 0.0
+
+        assert saving(10) >= saving(40) - 0.02

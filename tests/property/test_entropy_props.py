@@ -1,0 +1,111 @@
+"""Property-based tests for the entropy coder (exp-Golomb, block coding)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.entropy import (
+    BitReader,
+    BitWriter,
+    block_bits,
+    decode_block,
+    encode_block,
+    read_se,
+    read_ue,
+    se_bits,
+    ue_bits,
+    write_se,
+    write_ue,
+)
+
+blocks_st = arrays(
+    dtype=np.int32,
+    shape=(4, 4),
+    elements=st.integers(min_value=-512, max_value=512),
+)
+
+
+class TestExpGolombProps:
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_ue_roundtrip(self, value):
+        w = BitWriter()
+        write_ue(w, value)
+        assert read_ue(BitReader(w.getvalue())) == value
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31))
+    def test_se_roundtrip(self, value):
+        w = BitWriter()
+        write_se(w, value)
+        assert read_se(BitReader(w.getvalue())) == value
+
+    @given(st.integers(min_value=0, max_value=2**24))
+    def test_ue_bits_exact(self, value):
+        w = BitWriter()
+        write_ue(w, value)
+        assert w.bit_count == ue_bits(value)
+
+    @given(st.integers(min_value=-(2**20), max_value=2**20))
+    def test_se_bits_exact(self, value):
+        w = BitWriter()
+        write_se(w, value)
+        assert w.bit_count == se_bits(value)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+    def test_sequence_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            write_ue(w, v)
+        r = BitReader(w.getvalue())
+        assert [read_ue(r) for _ in values] == values
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_code_length_odd(self, value):
+        # exp-Golomb codes always have odd length: k zeros + (k+1) bits.
+        assert ue_bits(value) % 2 == 1
+
+
+class TestBlockCodingProps:
+    @given(blocks_st)
+    @settings(max_examples=200)
+    def test_block_roundtrip(self, block):
+        w = BitWriter()
+        encode_block(w, block)
+        decoded = decode_block(BitReader(w.getvalue()))
+        assert np.array_equal(decoded, block)
+
+    @given(blocks_st)
+    def test_block_bits_matches_encoder(self, block):
+        w = BitWriter()
+        actual = encode_block(w, block)
+        assert block_bits(block) == actual
+
+    @given(blocks_st)
+    def test_bits_lower_bound(self, block):
+        # At least 1 bit (the nnz count) and monotone in nonzero count.
+        assert block_bits(block) >= 1
+
+    @given(blocks_st, st.integers(min_value=0, max_value=15))
+    def test_zeroing_never_increases_cost(self, block, pos):
+        """Dropping one coefficient can only shrink the bit cost."""
+        before = block_bits(block)
+        zeroed = block.copy()
+        zeroed[pos // 4, pos % 4] = 0
+        assert block_bits(zeroed) <= before
+
+    @given(st.lists(blocks_st, min_size=1, max_size=8))
+    def test_concatenated_blocks_roundtrip(self, blocks):
+        w = BitWriter()
+        for b in blocks:
+            encode_block(w, b)
+        r = BitReader(w.getvalue())
+        for b in blocks:
+            assert np.array_equal(decode_block(r), b)
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_decoder_never_hangs_on_garbage(self, data):
+        """Arbitrary bytes either decode or raise cleanly."""
+        try:
+            decode_block(BitReader(data))
+        except (ValueError, EOFError):
+            pass

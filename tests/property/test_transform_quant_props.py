@@ -1,0 +1,99 @@
+"""Property-based tests for the transform and quantization stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.quant import dequantize, qstep, quantize, trellis_quantize
+from repro.codec.transform import (
+    blockify_16x16,
+    forward_4x4,
+    inverse_4x4,
+    unblockify_16x16,
+)
+
+residuals_st = arrays(
+    dtype=np.float64,
+    shape=(4, 4, 4),
+    elements=st.floats(min_value=-255, max_value=255, allow_nan=False),
+)
+mb_st = arrays(
+    dtype=np.int64,
+    shape=(16, 16),
+    elements=st.integers(min_value=-255, max_value=255),
+)
+qp_st = st.integers(min_value=0, max_value=51)
+
+
+class TestTransformProps:
+    @given(residuals_st)
+    def test_roundtrip_identity(self, blocks):
+        back = inverse_4x4(forward_4x4(blocks))
+        assert np.allclose(back, blocks, atol=1e-8)
+
+    @given(residuals_st)
+    def test_parseval(self, blocks):
+        coeffs = forward_4x4(blocks)
+        assert np.sum(coeffs**2) == pytest.approx(np.sum(blocks**2), rel=1e-9, abs=1e-6)
+
+    @given(residuals_st, residuals_st)
+    def test_linearity(self, a, b):
+        lhs = forward_4x4(a + b)
+        rhs = forward_4x4(a) + forward_4x4(b)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(mb_st)
+    def test_blockify_roundtrip(self, mb):
+        assert np.array_equal(unblockify_16x16(blockify_16x16(mb)), mb)
+
+    @given(mb_st)
+    def test_blockify_preserves_values(self, mb):
+        blocks = blockify_16x16(mb)
+        assert sorted(blocks.ravel().tolist()) == sorted(mb.ravel().tolist())
+
+
+class TestQuantProps:
+    @given(residuals_st, qp_st)
+    def test_reconstruction_error_bounded_by_step(self, coeffs, qp):
+        recon = dequantize(quantize(coeffs, qp), qp)
+        assert np.max(np.abs(recon - coeffs)) <= qstep(qp) + 1e-9
+
+    @given(residuals_st, qp_st)
+    def test_sign_preserved(self, coeffs, qp):
+        levels = quantize(coeffs, qp)
+        nz = levels != 0
+        assert np.all(np.sign(levels[nz]) == np.sign(coeffs[nz]))
+
+    @given(residuals_st)
+    def test_monotone_sparsity_in_qp(self, coeffs):
+        counts = [
+            np.count_nonzero(quantize(coeffs, qp)) for qp in (5, 20, 35, 50)
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    @given(residuals_st, qp_st)
+    def test_quantize_idempotent_on_reconstruction(self, coeffs, qp):
+        """Re-quantizing a dequantized signal reproduces the same levels."""
+        levels = quantize(coeffs, qp)
+        again = quantize(dequantize(levels, qp), qp)
+        assert np.array_equal(levels, again)
+
+    @given(residuals_st, qp_st, st.sampled_from([1, 2]))
+    @settings(max_examples=100)
+    def test_trellis_never_negative_rd(self, coeffs, qp, level):
+        """Trellis output never has larger magnitude than its start point."""
+        rounded = quantize(coeffs, qp, deadzone=0.5)
+        rd = trellis_quantize(coeffs, qp, level=level)
+        assert np.all(np.abs(rd) <= np.abs(rounded))
+
+    @given(residuals_st, qp_st)
+    def test_scaling_property(self, coeffs, qp):
+        """Doubling QP+6 halves levels (within rounding)."""
+        if qp > 45:
+            return
+        lo = quantize(coeffs, qp)
+        hi = quantize(coeffs, qp + 6)
+        # Levels at qp+6 should be roughly half (never more than lo).
+        assert np.all(np.abs(hi) <= np.abs(lo))

@@ -1,0 +1,126 @@
+"""Unit tests for repro.codec.chroma (the 4:2:0 coding layer)."""
+
+import numpy as np
+import pytest
+
+from repro.codec.chroma import (
+    chroma_qp,
+    decode_chroma_plane,
+    encode_chroma_plane,
+)
+from repro.codec.decoder import decode
+from repro.codec.encoder import encode
+from repro.codec.entropy import BitReader, BitWriter
+from repro.codec.options import EncoderOptions
+
+
+def _plane(seed=0, shape=(24, 32)):
+    rng = np.random.default_rng(seed)
+    smooth = rng.random((shape[0] // 4 + 1, shape[1] // 4 + 1)) * 60 + 100
+    up = np.kron(smooth, np.ones((4, 4)))[: shape[0], : shape[1]]
+    return up.astype(np.uint8)
+
+
+class TestChromaQp:
+    def test_identity_below_30(self):
+        for qp in (0, 15, 30):
+            assert chroma_qp(qp) == qp
+
+    def test_compressed_above_30(self):
+        assert chroma_qp(36) < 36
+        assert chroma_qp(51) <= 39
+
+    def test_monotone(self):
+        values = [chroma_qp(qp) for qp in range(52)]
+        assert values == sorted(values)
+
+
+class TestPlaneRoundTrip:
+    def _roundtrip(self, plane, prev, qp):
+        w = BitWriter()
+        recon = encode_chroma_plane(w, plane, prev, qp)
+        decoded = decode_chroma_plane(BitReader(w.getvalue()), plane.shape, prev, qp)
+        return recon, decoded
+
+    def test_intra_only_roundtrip(self):
+        plane = _plane()
+        recon, decoded = self._roundtrip(plane, None, 23)
+        assert np.array_equal(recon, decoded)
+
+    def test_temporal_roundtrip(self):
+        prev_plane = _plane(1)
+        w = BitWriter()
+        prev_recon = encode_chroma_plane(w, prev_plane, None, 23)
+        cur = np.clip(prev_plane.astype(int) + 3, 0, 255).astype(np.uint8)
+        recon, decoded = self._roundtrip(cur, prev_recon, 23)
+        assert np.array_equal(recon, decoded)
+
+    def test_quality_scales_with_qp(self):
+        plane = _plane(2)
+        recon_lo, _ = self._roundtrip(plane, None, 5)
+        recon_hi, _ = self._roundtrip(plane, None, 45)
+        err_lo = np.abs(recon_lo.astype(int) - plane.astype(int)).mean()
+        err_hi = np.abs(recon_hi.astype(int) - plane.astype(int)).mean()
+        assert err_lo < err_hi
+
+    def test_static_chroma_codes_cheaply(self):
+        plane = _plane(3)
+        w1 = BitWriter()
+        recon = encode_chroma_plane(w1, plane, None, 23)
+        w2 = BitWriter()
+        encode_chroma_plane(w2, recon, recon, 23)  # identical to its reference
+        assert w2.bit_count < w1.bit_count / 2
+
+    def test_odd_dimensions_padded(self):
+        plane = _plane(4, shape=(19, 27))
+        recon, decoded = self._roundtrip(plane, None, 23)
+        assert recon.shape[0] % 8 == 0 and recon.shape[1] % 8 == 0
+        assert np.array_equal(recon, decoded)
+
+    def test_temporal_block_without_reference_rejected(self):
+        w = BitWriter()
+        from repro.codec.entropy import write_ue
+
+        write_ue(w, 0)  # temporal mode with no reference available
+        with pytest.raises(ValueError, match="temporal chroma"):
+            decode_chroma_plane(BitReader(w.getvalue()), (8, 8), None, 23)
+
+
+class TestFullPipelineChroma:
+    def test_encode_decode_chroma_exact(self, tiny_video):
+        opts = EncoderOptions(crf=23, refs=2, bframes=1, chroma=True)
+        result = encode(tiny_video, opts)
+        decoded = decode(result.stream.bitstream)
+        ch, cw = (tiny_video.height + 1) // 2, (tiny_video.width + 1) // 2
+        for coded in result.stream.frames:
+            assert coded.chroma_recon is not None
+            frame = decoded.video[coded.index]
+            assert frame.chroma is not None
+            for i in range(2):
+                assert np.array_equal(
+                    coded.chroma_recon[i][:ch, :cw], frame.chroma[i]
+                )
+
+    def test_chroma_off_by_default(self, tiny_video):
+        result = encode(tiny_video, EncoderOptions(crf=23, refs=1, bframes=0))
+        assert result.stream.frames[0].chroma_recon is None
+        decoded = decode(result.stream.bitstream)
+        assert decoded.video[0].chroma is None
+
+    def test_chroma_adds_bits(self, tiny_video):
+        base = encode(tiny_video, EncoderOptions(crf=23, refs=1, bframes=0))
+        with_c = encode(
+            tiny_video, EncoderOptions(crf=23, refs=1, bframes=0, chroma=True)
+        )
+        assert with_c.total_bits > base.total_bits
+
+    def test_chroma_reconstruction_reasonable(self, tiny_video):
+        result = encode(
+            tiny_video, EncoderOptions(crf=20, refs=1, bframes=0, chroma=True)
+        )
+        decoded = decode(result.stream.bitstream)
+        src = tiny_video.frames[0].chroma
+        out = decoded.video[0].chroma
+        assert src is not None and out is not None
+        mse = float(np.mean((src[0].astype(float) - out[0].astype(float)) ** 2))
+        assert mse < 50.0  # visually close at crf 20

@@ -1,0 +1,73 @@
+"""Unit tests for repro.codec.deblock."""
+
+import numpy as np
+import pytest
+
+from repro.codec.deblock import deblock_plane, deblock_thresholds
+
+
+class TestThresholds:
+    def test_grow_with_qp(self):
+        a_lo, b_lo = deblock_thresholds(10)
+        a_hi, b_hi = deblock_thresholds(40)
+        assert a_hi > a_lo
+        assert b_hi > b_lo
+
+    def test_nonnegative(self):
+        for qp in (0, 5, 23, 51):
+            alpha, beta = deblock_thresholds(qp)
+            assert alpha >= 0 and beta >= 0
+
+    def test_offset_shifts(self):
+        base = deblock_thresholds(30, offset=0)
+        shifted = deblock_thresholds(30, offset=6)
+        assert shifted[0] > base[0]
+
+    def test_qp_validated(self):
+        with pytest.raises(ValueError):
+            deblock_thresholds(60)
+
+
+class TestDeblockPlane:
+    def _blocky(self):
+        """A plane with small 4-aligned steps (coding artifacts)."""
+        plane = np.full((32, 32), 100, dtype=np.uint8)
+        plane[:, 4:8] = 104
+        plane[:, 8:12] = 100
+        return plane
+
+    def test_smooths_artifact_edges(self):
+        plane = self._blocky()
+        out, _ = deblock_plane(plane, qp=30)
+        # The step at column 4 must shrink.
+        before = abs(int(plane[0, 4]) - int(plane[0, 3]))
+        after = abs(int(out[0, 4]) - int(out[0, 3]))
+        assert after < before
+
+    def test_preserves_real_edges(self):
+        plane = np.full((32, 32), 20, dtype=np.uint8)
+        plane[:, 16:] = 220  # a huge step is real content, not an artifact
+        out, _ = deblock_plane(plane, qp=23)
+        assert out[0, 15] == 20 and out[0, 16] == 220
+
+    def test_flat_plane_unchanged(self):
+        plane = np.full((32, 32), 77, dtype=np.uint8)
+        out, _ = deblock_plane(plane, qp=30)
+        assert np.array_equal(out, plane)
+
+    def test_higher_qp_filters_more(self):
+        plane = np.full((32, 32), 100, dtype=np.uint8)
+        plane[:, 8:] = 112  # medium step at a block boundary
+        out_lo, _ = deblock_plane(plane, qp=5)
+        out_hi, _ = deblock_plane(plane, qp=45)
+        diff_lo = np.abs(out_lo.astype(int) - plane.astype(int)).sum()
+        diff_hi = np.abs(out_hi.astype(int) - plane.astype(int)).sum()
+        assert diff_hi > diff_lo
+
+    def test_edge_count_positive(self):
+        _, n_edges = deblock_plane(self._blocky(), qp=23)
+        assert n_edges > 0
+
+    def test_output_dtype(self):
+        out, _ = deblock_plane(self._blocky(), qp=23)
+        assert out.dtype == np.uint8

@@ -1,0 +1,121 @@
+"""Unit tests for repro.codec.intra."""
+
+import numpy as np
+import pytest
+
+from repro.codec.intra import (
+    best_intra_16x16,
+    predict_16x16,
+    predict_4x4_blocks,
+)
+from repro.codec.types import IntraMode
+
+
+def _recon_with_mb_context(top_row=None, left_col=None):
+    """A 48x48 recon plane with controllable neighbors of the MB at (16,16)."""
+    recon = np.full((48, 48), 128, dtype=np.uint8)
+    if top_row is not None:
+        recon[15, 16:32] = top_row
+    if left_col is not None:
+        recon[16:32, 15] = left_col
+    return recon
+
+
+class TestPredict16x16:
+    def test_dc_without_neighbors_is_128(self):
+        recon = np.zeros((32, 32), dtype=np.uint8)
+        pred = predict_16x16(recon, 0, 0, IntraMode.DC)
+        assert np.all(pred == 128)
+
+    def test_dc_averages_neighbors(self):
+        recon = _recon_with_mb_context(
+            top_row=np.full(16, 100, np.uint8), left_col=np.full(16, 200, np.uint8)
+        )
+        pred = predict_16x16(recon, 16, 16, IntraMode.DC)
+        assert np.all(pred == 150)
+
+    def test_vertical_copies_top_row(self):
+        top = np.arange(16, dtype=np.uint8) * 10
+        recon = _recon_with_mb_context(top_row=top)
+        pred = predict_16x16(recon, 16, 16, IntraMode.VERTICAL)
+        assert np.array_equal(pred[0], top)
+        assert np.array_equal(pred[15], top)
+
+    def test_horizontal_copies_left_col(self):
+        left = (np.arange(16, dtype=np.uint8) * 9) % 200
+        recon = _recon_with_mb_context(left_col=left)
+        pred = predict_16x16(recon, 16, 16, IntraMode.HORIZONTAL)
+        assert np.array_equal(pred[:, 0], left)
+        assert np.array_equal(pred[:, 15], left)
+
+    def test_vertical_falls_back_without_top(self):
+        recon = np.full((32, 32), 90, dtype=np.uint8)
+        pred = predict_16x16(recon, 0, 16, IntraMode.VERTICAL)
+        assert pred.shape == (16, 16)  # DC fallback, no crash
+
+    def test_plane_follows_gradient(self):
+        # Build a linear ramp; plane prediction should continue it.
+        recon = np.zeros((48, 48), dtype=np.uint8)
+        y, x = np.mgrid[0:48, 0:48]
+        recon[:, :] = np.clip(2 * x + y, 0, 255).astype(np.uint8)
+        pred = predict_16x16(recon, 16, 16, IntraMode.PLANE)
+        # Gradient direction preserved: right side brighter, bottom brighter.
+        assert pred[:, 15].mean() > pred[:, 0].mean()
+        assert pred[15, :].mean() > pred[0, :].mean()
+
+    def test_output_dtype_and_range(self):
+        recon = np.full((32, 32), 255, dtype=np.uint8)
+        for mode in IntraMode:
+            pred = predict_16x16(recon, 16, 16, mode)
+            assert pred.dtype == np.uint8
+
+
+class TestBestIntra16x16:
+    def test_picks_perfect_mode(self):
+        top = np.arange(16, dtype=np.uint8) * 3 + 10
+        recon = _recon_with_mb_context(top_row=top)
+        source = np.tile(top, (16, 1))  # exactly the vertical prediction
+        best = best_intra_16x16(source, recon, 16, 16)
+        assert best.mode is IntraMode.VERTICAL
+        assert best.sad == 0.0
+
+    def test_tries_all_modes(self):
+        recon = _recon_with_mb_context(top_row=np.full(16, 10, np.uint8))
+        source = np.full((16, 16), 10, dtype=np.uint8)
+        best = best_intra_16x16(source, recon, 16, 16)
+        assert best.n_modes_tried == len(IntraMode)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            best_intra_16x16(np.zeros((8, 8), np.uint8), np.zeros((32, 32), np.uint8), 0, 0)
+
+
+class TestPredict4x4:
+    def test_flat_source_predicts_well(self):
+        recon = np.full((48, 48), 50, dtype=np.uint8)
+        source = np.full((16, 16), 50, dtype=np.uint8)
+        pred, sad, tried = predict_4x4_blocks(source, recon, 16, 16)
+        assert sad == 0.0
+        assert np.all(pred == 50)
+
+    def test_counts_modes_tried(self):
+        recon = np.full((48, 48), 70, dtype=np.uint8)
+        source = np.random.default_rng(0).integers(0, 256, (16, 16)).astype(np.uint8)
+        _pred, _sad, tried = predict_4x4_blocks(source, recon, 16, 16)
+        # 16 blocks x up to 3 modes each, at least DC everywhere.
+        assert 16 <= tried <= 48
+
+    def test_beats_16x16_on_structured_content(self):
+        # Content with a sharp internal edge favors finer prediction.
+        recon = np.full((48, 48), 128, dtype=np.uint8)
+        source = np.full((16, 16), 20, dtype=np.uint8)
+        source[:, 8:] = 220
+        _p4, sad4, _ = predict_4x4_blocks(source, recon, 16, 16)
+        best16 = best_intra_16x16(source, recon, 16, 16)
+        assert sad4 < best16.sad
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            predict_4x4_blocks(
+                np.zeros((8, 8), np.uint8), np.zeros((32, 32), np.uint8), 0, 0
+            )

@@ -1,0 +1,145 @@
+"""Unit tests for repro.codec.quant."""
+
+import numpy as np
+import pytest
+
+from repro.codec.quant import (
+    dequantize,
+    qstep,
+    quantize,
+    rd_lambda,
+    trellis_quantize,
+)
+
+
+class TestQstep:
+    def test_doubles_every_six_qp(self):
+        assert qstep(18) == pytest.approx(2 * qstep(12))
+        assert qstep(51) == pytest.approx(qstep(45) * 2)
+
+    def test_base_value(self):
+        assert qstep(0) == pytest.approx(0.625)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            qstep(-1)
+        with pytest.raises(ValueError):
+            qstep(52)
+
+
+class TestLambda:
+    def test_increases_with_qp(self):
+        assert rd_lambda(30) > rd_lambda(20) > rd_lambda(10)
+
+    def test_known_anchor(self):
+        # lambda(12) = 0.85 by construction.
+        assert rd_lambda(12) == pytest.approx(0.85)
+
+
+class TestQuantize:
+    def test_zero_stays_zero(self):
+        assert np.all(quantize(np.zeros((2, 4, 4)), 23) == 0)
+
+    def test_deadzone_collapses_small_values(self):
+        step = qstep(23)
+        coeffs = np.full((1, 4, 4), step * 0.5)  # below deadzone+1 threshold
+        assert np.all(quantize(coeffs, 23) == 0)
+
+    def test_large_values_quantize_proportionally(self):
+        step = qstep(20)
+        coeffs = np.full((1, 4, 4), step * 10.2)
+        levels = quantize(coeffs, 20)
+        assert np.all(levels == 10)
+
+    def test_sign_preserved(self):
+        coeffs = np.array([[[-50.0, 50, -5, 5]] * 4])
+        levels = quantize(coeffs.reshape(1, 4, 4), 10)
+        assert levels[0, 0, 0] < 0 < levels[0, 0, 1]
+
+    def test_higher_qp_more_zeros(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(0, 20, (4, 4, 4))
+        low = np.count_nonzero(quantize(coeffs, 10))
+        high = np.count_nonzero(quantize(coeffs, 40))
+        assert high < low
+
+    def test_deadzone_validation(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((1, 4, 4)), 23, deadzone=0.9)
+
+    def test_int32_output(self):
+        assert quantize(np.zeros((1, 4, 4)), 23).dtype == np.int32
+
+
+class TestDequantize:
+    def test_inverse_scale(self):
+        levels = np.array([[[3] * 4] * 4])
+        out = dequantize(levels, 23)
+        assert np.all(out == pytest.approx(3 * qstep(23)))
+
+    def test_quantize_dequantize_error_bounded(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(0, 100, (8, 4, 4))
+        qp = 23
+        recon = dequantize(quantize(coeffs, qp), qp)
+        # Dead-zone quantizer error is bounded by one full step.
+        assert np.max(np.abs(recon - coeffs)) <= qstep(qp) + 1e-9
+
+
+class TestTrellis:
+    def test_level_zero_is_plain_quant(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(0, 30, (4, 4, 4))
+        assert np.array_equal(
+            trellis_quantize(coeffs, 23, level=0), quantize(coeffs, 23)
+        )
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            trellis_quantize(np.zeros((1, 4, 4)), 23, level=3)
+
+    def test_never_increases_magnitude_vs_round(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.normal(0, 25, (6, 4, 4))
+        rounded = quantize(coeffs, 28, deadzone=0.5)  # the trellis start point
+        for level in (1, 2):
+            rd = trellis_quantize(coeffs, 28, level=level)
+            assert np.all(np.abs(rd) <= np.abs(rounded))
+
+    def test_zeroes_marginal_coefficients(self):
+        # A coefficient that round-to-nearest keeps at level 1 but whose
+        # distortion saving is below the rate cost should be RD-zeroed.
+        qp = 35
+        step = qstep(qp)
+        coeffs = np.zeros((1, 4, 4))
+        coeffs[0, 3, 3] = step * 0.55  # marginal high-frequency coefficient
+        rounded = quantize(coeffs, qp, deadzone=0.5)
+        assert rounded[0, 3, 3] != 0
+        rd = trellis_quantize(coeffs, qp, level=1)
+        assert rd[0, 3, 3] == 0
+
+    def test_keeps_solid_level_one(self):
+        # A coefficient close to a full step is worth its 3 bits.
+        qp = 35
+        coeffs = np.zeros((1, 4, 4))
+        coeffs[0, 0, 1] = qstep(qp) * 0.95
+        rd = trellis_quantize(coeffs, qp, level=1)
+        assert rd[0, 0, 1] == 1
+
+    def test_keeps_strong_coefficients(self):
+        qp = 20
+        coeffs = np.zeros((1, 4, 4))
+        coeffs[0, 0, 0] = qstep(qp) * 40
+        rd = trellis_quantize(coeffs, qp, level=2)
+        assert rd[0, 0, 0] != 0
+
+    def test_all_zero_input_fast_path(self):
+        out = trellis_quantize(np.zeros((2, 4, 4)), 30, level=2)
+        assert np.all(out == 0)
+
+    def test_level2_at_least_as_sparse_as_level1(self):
+        rng = np.random.default_rng(4)
+        coeffs = rng.normal(0, 15, (8, 4, 4))
+        n1 = np.abs(trellis_quantize(coeffs, 30, level=1)).sum()
+        n2 = np.abs(trellis_quantize(coeffs, 30, level=2)).sum()
+        assert n2 <= n1

@@ -1,0 +1,141 @@
+"""Unit tests for the experiments harness (runner, report, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ascii_heatmap, series_table
+from repro.experiments.runner import (
+    ExperimentScale,
+    FULL,
+    MEDIUM,
+    QUICK,
+    SweepRunner,
+    shared_runner,
+)
+from repro.experiments.tables import tab2, tab3, tab4
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """A scale small enough for unit testing."""
+    return ExperimentScale(
+        name="micro",
+        width=48,
+        height=32,
+        n_frames=4,
+        crf_values=(10, 40),
+        refs_values=(1, 2),
+        sweep_video="cricket",
+        videos=("desktop", "holi"),
+        data_capacity_scale=16.0,
+        fig8_combos=1,
+    )
+
+
+class TestScales:
+    def test_quick_defaults(self):
+        assert QUICK.name == "quick"
+        assert len(QUICK.crf_values) >= 5
+        assert len(QUICK.videos) == 16
+
+    def test_full_matches_paper_grid(self):
+        assert FULL.crf_values == tuple(range(1, 52))
+        assert FULL.refs_values == tuple(range(1, 17))
+        assert len(FULL.crf_values) * len(FULL.refs_values) == 816
+        assert FULL.fig8_combos == 32
+
+    def test_medium_between(self):
+        assert len(QUICK.crf_values) < len(MEDIUM.crf_values) < len(FULL.crf_values)
+
+    def test_with_updates(self):
+        scale = QUICK.with_updates(n_frames=6)
+        assert scale.n_frames == 6 and QUICK.n_frames != 6
+
+
+class TestSweepRunner:
+    def test_profile_memoized(self, micro_scale):
+        runner = SweepRunner(micro_scale)
+        a = runner.profile("desktop", crf=23, refs=1)
+        b = runner.profile("desktop", crf=23, refs=1)
+        assert a is b  # cached object identity
+
+    def test_records_carry_parameters(self, micro_scale):
+        runner = SweepRunner(micro_scale)
+        rec = runner.profile("holi", crf=30, refs=2)
+        assert rec.video == "holi" and rec.crf == 30 and rec.refs == 2
+        row = rec.as_row()
+        assert row["crf"] == 30
+        assert "backend_bound" in row
+
+    def test_crf_refs_sweep_shape(self, micro_scale):
+        runner = SweepRunner(micro_scale)
+        records = runner.crf_refs_sweep()
+        assert len(records) == 4  # 2 crf x 2 refs
+        assert {(r.crf, r.refs) for r in records} == {
+            (10, 1), (10, 2), (40, 1), (40, 2),
+        }
+
+    def test_video_sweep_covers_catalog(self, micro_scale):
+        runner = SweepRunner(micro_scale)
+        records = runner.video_sweep()
+        assert {r.video for r in records} == {"desktop", "holi"}
+
+    def test_shared_runner_caches_per_scale(self, micro_scale):
+        a = shared_runner(micro_scale)
+        b = shared_runner(micro_scale)
+        assert a is b
+
+
+class TestReportRendering:
+    def test_heatmap_structure(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = ascii_heatmap(
+            grid, row_labels=["r1", "r2"], col_labels=["c1", "c2"], title="T"
+        )
+        assert "T" in out
+        assert "min=1.0" in out and "max=4.0" in out
+        assert "r1" in out and "c2" in out
+
+    def test_heatmap_shades_span(self):
+        grid = np.array([[0.0, 10.0]])
+        out = ascii_heatmap(grid, row_labels=["r"], col_labels=["a", "b"], title="t")
+        lines = out.splitlines()
+        assert " " in lines[-1] or "." in lines[-1]
+        assert "@" in lines[-1]
+
+    def test_heatmap_constant_grid(self):
+        grid = np.full((2, 2), 5.0)
+        out = ascii_heatmap(grid, row_labels=["a", "b"], col_labels=["x", "y"], title="t")
+        assert "min=5.0" in out
+
+    def test_heatmap_shape_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(
+                np.zeros((2, 2)), row_labels=["a"], col_labels=["x", "y"], title="t"
+            )
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(3), row_labels=["a"], col_labels=["x"], title="t")
+
+    def test_series_table(self):
+        out = series_table("x", [1, 2], {"a": [0.5, 1.5], "b": [2.0, 3.0]})
+        assert "x" in out and "a" in out and "b" in out
+        assert "0.50" in out and "3.00" in out
+
+
+class TestStaticTables:
+    def test_tab2_matches_paper(self):
+        text = tab2()
+        assert "ultrafast" in text and "placebo" in text
+        assert "tesa" in text  # placebo me
+        assert "trellis" in text
+
+    def test_tab3_lists_four_tasks(self):
+        text = tab3()
+        for video in ("desktop", "holi", "presentation", "game2"):
+            assert video in text
+
+    def test_tab4_lists_five_configs(self):
+        text = tab4()
+        for cfg in ("baseline", "fe_op", "be_op1", "be_op2", "bs_op"):
+            assert cfg in text
+        assert "Tage".lower() in text.lower()

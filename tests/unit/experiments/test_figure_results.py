@@ -1,0 +1,71 @@
+"""Unit tests for the figure result classes at micro scale."""
+
+import pytest
+
+from repro.experiments import fig6_presets, fig7_videos, fig9_scheduler
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    return ExperimentScale(
+        name="micro-fig",
+        width=48,
+        height=32,
+        n_frames=5,
+        crf_values=(23,),
+        refs_values=(1,),
+        sweep_video="cricket",
+        videos=("desktop", "cricket", "hall"),
+        data_capacity_scale=16.0,
+        fig8_combos=1,
+    )
+
+
+class TestFig6Result:
+    def test_series_and_render(self, micro_scale):
+        result = fig6_presets.run(micro_scale)
+        assert len(result.presets) == 10
+        times = result.series("time_seconds")
+        assert len(times) == 10
+        assert all(t > 0 for t in times)
+        text = result.render()
+        assert "ultrafast" in text and "(d) resource stalls" in text
+
+    def test_counters_keyed_by_preset(self, micro_scale):
+        result = fig6_presets.run(micro_scale)
+        assert set(result.counters) == set(result.presets)
+
+
+class TestFig7Result:
+    def test_paper_ordering(self, micro_scale):
+        result = fig7_videos.run(micro_scale)
+        # Grouped by resolution then entropy: desktop(720p) before
+        # cricket(720p); hall(1080p) last.
+        assert result.videos.index("desktop") < result.videos.index("cricket")
+        assert result.videos[-1] == "hall"
+
+    def test_entropies_match_catalog(self, micro_scale):
+        result = fig7_videos.run(micro_scale)
+        assert result.entropies() == [0.2, 3.4, 7.7]
+
+    def test_correlation_requires_three_points(self):
+        from repro.experiments.fig7_videos import entropy_correlation
+
+        with pytest.raises(ValueError):
+            entropy_correlation([1.0, 2.0], [3.0, 4.0])
+
+    def test_render_includes_correlations(self, micro_scale):
+        text = fig7_videos.run(micro_scale).render()
+        assert "entropy correlations" in text
+
+
+class TestFig9Result:
+    def test_speedups_and_render(self, micro_scale):
+        result = fig9_scheduler.run(micro_scale)
+        speedups = result.speedups
+        assert set(speedups) == {"random", "smart", "best"}
+        assert speedups["best"] >= speedups["smart"]
+        text = result.render()
+        assert "scheduler comparison" in text
+        assert "paper: +3.72" in text

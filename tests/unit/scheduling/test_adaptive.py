@@ -1,0 +1,124 @@
+"""Unit tests for repro.scheduling.adaptive."""
+
+import pytest
+
+from repro.experiments.runner import SweepRecord
+from repro.profiling.counters import CounterSet
+from repro.scheduling.adaptive import (
+    OperatingPoint,
+    pareto_frontier,
+    select_for_bandwidth,
+    select_for_deadline,
+)
+
+
+def _record(crf, refs, psnr, kbps, secs, preset="medium"):
+    fields = {name: 0.0 for name in CounterSet.field_names()}
+    fields.update(
+        time_seconds=secs, psnr_db=psnr, bitrate_kbps=kbps,
+        retiring=50.0, bad_speculation=10.0, frontend_bound=10.0,
+        backend_bound=30.0, memory_bound=20.0, core_bound=10.0,
+        cycles=secs * 3.5e9, instructions=1e6, ipc=1.0,
+    )
+    return SweepRecord(
+        video="v", crf=crf, refs=refs, preset=preset,
+        counters=CounterSet(**fields),
+    )
+
+
+@pytest.fixture()
+def ladder():
+    """A quality ladder plus two dominated points."""
+    return [
+        _record(10, 3, psnr=45.0, kbps=2000.0, secs=0.020),
+        _record(23, 3, psnr=38.0, kbps=800.0, secs=0.015),
+        _record(35, 2, psnr=31.0, kbps=250.0, secs=0.010),
+        _record(45, 1, psnr=26.0, kbps=90.0, secs=0.007),
+        # Dominated: same quality as crf=23 but bigger and slower.
+        _record(22, 8, psnr=38.0, kbps=900.0, secs=0.018),
+        # Dominated: worse than crf=35 on every axis.
+        _record(36, 8, psnr=30.0, kbps=260.0, secs=0.012),
+    ]
+
+
+class TestPareto:
+    def test_dominated_points_pruned(self, ladder):
+        frontier = pareto_frontier(ladder)
+        crfs = {p.crf for p in frontier}
+        assert crfs == {10, 23, 35, 45}
+
+    def test_sorted_by_bitrate(self, ladder):
+        frontier = pareto_frontier(ladder)
+        rates = [p.bitrate_kbps for p in frontier]
+        assert rates == sorted(rates)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([])
+
+    def test_dominates_semantics(self):
+        a = OperatingPoint(23, 3, "medium", 38.0, 800.0, 0.01)
+        worse = OperatingPoint(22, 8, "medium", 38.0, 900.0, 0.02)
+        equal = OperatingPoint(23, 3, "medium", 38.0, 800.0, 0.01)
+        assert a.dominates(worse)
+        assert not worse.dominates(a)
+        assert not a.dominates(equal)  # no strict improvement
+
+
+class TestBandwidthSelection:
+    def test_picks_best_quality_under_budget(self, ladder):
+        point = select_for_bandwidth(ladder, 1000.0)
+        assert point is not None
+        assert point.crf == 23  # 800 kbps fits, 2000 does not
+
+    def test_generous_budget_gets_top_rung(self, ladder):
+        assert select_for_bandwidth(ladder, 1e6).crf == 10
+
+    def test_tight_budget_gets_saver(self, ladder):
+        assert select_for_bandwidth(ladder, 100.0).crf == 45
+
+    def test_impossible_budget_returns_none(self, ladder):
+        assert select_for_bandwidth(ladder, 10.0) is None
+
+    def test_invalid_budget(self, ladder):
+        with pytest.raises(ValueError):
+            select_for_bandwidth(ladder, 0.0)
+
+
+class TestDeadlineSelection:
+    def test_picks_best_quality_under_deadline(self, ladder):
+        point = select_for_deadline(ladder, 0.016)
+        assert point is not None
+        assert point.crf == 23  # 15 ms fits, 20 ms does not
+
+    def test_tight_deadline(self, ladder):
+        assert select_for_deadline(ladder, 0.008).crf == 45
+
+    def test_impossible_deadline_returns_none(self, ladder):
+        assert select_for_deadline(ladder, 0.001) is None
+
+    def test_never_picks_dominated_point(self, ladder):
+        # The crf=22/refs=8 point fits this deadline but is dominated.
+        point = select_for_deadline(ladder, 0.018)
+        assert (point.crf, point.refs) != (22, 8)
+
+
+class TestEndToEnd:
+    def test_with_real_sweep(self):
+        """Selectors work on genuinely profiled records."""
+        from repro.experiments.runner import ExperimentScale, SweepRunner
+
+        scale = ExperimentScale(
+            name="adaptive-test", width=48, height=32, n_frames=4,
+            crf_values=(10, 30, 48), refs_values=(1,),
+            sweep_video="cricket", data_capacity_scale=16.0,
+        )
+        records = SweepRunner(scale).crf_refs_sweep()
+        frontier = pareto_frontier(records)
+        assert frontier  # something survives
+        mid = select_for_bandwidth(
+            records, frontier[len(frontier) // 2].bitrate_kbps + 1
+        )
+        assert mid is not None
+        top = select_for_bandwidth(records, 1e9)
+        assert top.psnr_db >= mid.psnr_db

@@ -1,0 +1,40 @@
+"""Unit tests for the top-level `repro` CLI plumbing."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENT_IDS
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for exp_id in ("tab1", "tab2", "tab3", "tab4",
+                       "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert exp_id in EXPERIMENT_IDS
+
+    def test_roofline_extension_registered(self):
+        assert "roofline" in EXPERIMENT_IDS
+
+
+class TestArgumentHandling:
+    def test_requires_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig42"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["tab2", "--scale", "gigantic"])
+
+    def test_static_table_runs(self, capsys):
+        assert main(["tab4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "done in" in out
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["tab2", "--scale", "medium"]) == 0
+        assert "scale=medium" in capsys.readouterr().out

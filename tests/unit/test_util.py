@@ -1,0 +1,111 @@
+"""Unit tests for repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    check_choice,
+    check_positive,
+    check_range,
+    clamp,
+    format_table,
+    geometric_mean,
+    rng_for,
+    stable_seed,
+)
+
+
+class TestValidation:
+    def test_check_range_accepts_bounds(self):
+        check_range("x", 0, 0, 10)
+        check_range("x", 10, 0, 10)
+
+    def test_check_range_rejects_outside(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            check_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            check_range("x", -1, 0, 10)
+
+    def test_check_positive(self):
+        check_positive("n", 1e-9)
+        with pytest.raises(ValueError):
+            check_positive("n", 0)
+        with pytest.raises(ValueError):
+            check_positive("n", -3)
+
+    def test_check_choice(self):
+        check_choice("mode", "a", ("a", "b"))
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_choice("mode", "c", ("a", "b"))
+
+
+class TestSeeding:
+    def test_stable_seed_deterministic(self):
+        assert stable_seed("a", 1, "b") == stable_seed("a", 1, "b")
+
+    def test_stable_seed_distinguishes_parts(self):
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert stable_seed("ab") != stable_seed("a", "b")
+
+    def test_stable_seed_is_63_bit(self):
+        for parts in (("x",), ("y", 2), (1, 2, 3)):
+            s = stable_seed(*parts)
+            assert 0 <= s < (1 << 63)
+
+    def test_rng_for_reproducible_streams(self):
+        a = rng_for("scene", 1).random(8)
+        b = rng_for("scene", 1).random(8)
+        assert np.array_equal(a, b)
+
+    def test_rng_for_independent_streams(self):
+        a = rng_for("scene", 1).random(8)
+        b = rng_for("scene", 2).random(8)
+        assert not np.array_equal(a, b)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_edges(self):
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [3, 4.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in out and "4.250" in out
+
+    def test_floatfmt(self):
+        out = format_table(["v"], [[1.23456]], floatfmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row length"):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["x", 2]])
+        lines = out.splitlines()
+        # All rows should have equal width.
+        assert len({len(l) for l in lines}) == 1

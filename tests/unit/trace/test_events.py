@@ -1,0 +1,52 @@
+"""Unit tests for repro.trace.events."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import BranchEvent, KernelEvent, MemoryEvent, TraceStream
+from repro.trace.program import InstrMix
+
+
+class TestMemoryEvent:
+    def test_valid_kinds(self):
+        for kind in ("r", "w", "i"):
+            MemoryEvent("k", np.array([0], dtype=np.uint64), kind)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            MemoryEvent("k", np.array([0], dtype=np.uint64), "x")
+
+
+class TestTraceStream:
+    def test_instruction_totals_accumulate(self):
+        stream = TraceStream()
+        stream.add_instr("a", InstrMix(alu=10, load=5, branch=2))
+        stream.add_instr("a", InstrMix(alu=10, load=5, branch=2))
+        stream.add_instr("b", InstrMix(mul=4, store=1))
+        assert stream.total_instructions == 39
+        assert stream.total_branches == 4
+        assert stream.instr_by_kernel["a"].alu == 20
+        assert stream.instr_by_kernel["b"].mul == 4
+
+    def test_summary_contents(self):
+        stream = TraceStream()
+        stream.add_instr("a", InstrMix(alu=1, branch=1))
+        stream.events.append(KernelEvent("a", 1.0))
+        stream.n_frames = 2
+        summary = stream.summary()
+        assert summary["instructions"] == 2
+        assert summary["events"] == 1
+        assert summary["frames"] == 2
+
+    def test_iter_events_order(self):
+        stream = TraceStream()
+        k = KernelEvent("a", 1.0)
+        m = MemoryEvent("a", np.array([0], dtype=np.uint64), "r")
+        b = BranchEvent("a:s", np.array([True]))
+        stream.events.extend([k, m, b])
+        assert list(stream.iter_events()) == [k, m, b]
+
+    def test_empty_stream(self):
+        stream = TraceStream()
+        assert stream.total_instructions == 0
+        assert list(stream.iter_events()) == []

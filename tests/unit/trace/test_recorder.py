@@ -1,0 +1,155 @@
+"""Unit tests for repro.trace.recorder and repro.trace.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import BranchEvent, KernelEvent, MemoryEvent
+from repro.trace.kernels import KERNELS, build_program, kernel_spec
+from repro.trace.recorder import AddressMap, NullTracer, RecordingTracer
+
+
+class TestKernelCatalog:
+    def test_catalog_nonempty(self):
+        assert len(KERNELS) >= 15
+
+    def test_expected_kernels_present(self):
+        for name in ("me_sad", "dct4", "quant", "trellis", "entropy_coeff",
+                     "deblock", "mode_decide", "intra_pred16"):
+            assert name in KERNELS
+
+    def test_kernel_spec_lookup(self):
+        assert kernel_spec("me_sad").name == "me_sad"
+        with pytest.raises(KeyError):
+            kernel_spec("bogus")
+
+    def test_all_kernels_have_positive_footprints(self):
+        for k in KERNELS.values():
+            assert k.hot_lines > 0
+            assert k.cold_lines >= 0
+            assert k.instr_mix.total > 0 or k.call_overhead.total > 0
+
+    def test_tileable_kernels_marked(self):
+        assert KERNELS["dct4"].loop_nest.tileable
+        assert KERNELS["deblock"].loop_nest.tileable
+        assert not KERNELS["me_sad"].loop_nest.tileable
+
+    def test_build_program(self):
+        prog = build_program()
+        assert set(prog.kernels) == set(KERNELS)
+
+
+class TestAddressMap:
+    def test_alloc_page_aligned(self):
+        amap = AddressMap()
+        base = amap.alloc("x", 100)
+        assert base % 4096 == 0
+
+    def test_realloc_same_name_same_base(self):
+        amap = AddressMap()
+        a = amap.alloc("x", 100)
+        b = amap.alloc("x", 50)
+        assert a == b
+
+    def test_realloc_larger_rejected(self):
+        amap = AddressMap()
+        amap.alloc("x", 100)
+        with pytest.raises(ValueError, match="reallocated larger"):
+            amap.alloc("x", 100_000)
+
+    def test_regions_disjoint(self):
+        amap = AddressMap()
+        a = amap.alloc("a", 8192)
+        b = amap.alloc("b", 8192)
+        assert abs(a - b) >= 8192
+
+    def test_bytes_allocated_grows(self):
+        amap = AddressMap()
+        before = amap.bytes_allocated
+        amap.alloc("a", 4096)
+        assert amap.bytes_allocated > before
+
+
+class TestNullTracer:
+    def test_noop(self):
+        t = NullTracer()
+        assert not t.enabled
+        t.begin_frame("I", 0)
+        t.kernel("anything", iters=5)  # must not raise or record
+
+
+class TestRecordingTracer:
+    def _tracer(self, sample=1):
+        return RecordingTracer(build_program(), sample=sample)
+
+    def test_instruction_accounting(self):
+        t = self._tracer()
+        spec = kernel_spec("dct4")
+        t.kernel("dct4", iters=10)
+        expected = spec.instr_mix.scaled(10) + spec.call_overhead
+        assert t.stream.instr.total == pytest.approx(expected.total)
+        assert t.stream.kernel_calls["dct4"] == 1
+
+    def test_events_recorded(self):
+        t = self._tracer()
+        reads = np.array([100, 164], dtype=np.uint64)
+        branches = {"nz": np.array([True, False, True])}
+        t.kernel("quant", iters=4, reads=reads, branches=branches)
+        kinds = [type(e).__name__ for e in t.stream.events]
+        assert "KernelEvent" in kinds
+        assert "MemoryEvent" in kinds
+        assert "BranchEvent" in kinds
+        branch_events = [e for e in t.stream.events if isinstance(e, BranchEvent)]
+        assert branch_events[0].site == "quant:nz"
+        assert branch_events[0].outcomes.tolist() == [True, False, True]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            self._tracer().kernel("not_a_kernel")
+
+    def test_negative_iters_rejected(self):
+        with pytest.raises(ValueError):
+            self._tracer().kernel("dct4", iters=-1)
+
+    def test_negative_addresses_rejected(self):
+        t = self._tracer()
+        with pytest.raises(ValueError, match="negative address"):
+            t.kernel("dct4", reads=np.array([-5]))
+
+    def test_sampling_keeps_exact_instructions(self):
+        exact = self._tracer(sample=1)
+        sampled = self._tracer(sample=4)
+        for tr in (exact, sampled):
+            for _ in range(8):
+                tr.kernel("quant", iters=4, reads=np.array([64], dtype=np.uint64))
+        assert exact.stream.instr.total == sampled.stream.instr.total
+
+    def test_sampling_reduces_events_and_weights(self):
+        sampled = self._tracer(sample=4)
+        for _ in range(8):
+            sampled.kernel("quant", iters=4, reads=np.array([64], dtype=np.uint64))
+        mem = [e for e in sampled.stream.events if isinstance(e, MemoryEvent)]
+        assert len(mem) == 2  # every 4th of 8 invocations
+        assert all(e.weight == 4.0 for e in mem)
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            self._tracer(sample=0)
+
+    def test_begin_frame_counts(self):
+        t = self._tracer()
+        t.begin_frame("I", 0)
+        t.begin_frame("P", 1)
+        assert t.stream.n_frames == 2
+
+    def test_empty_arrays_not_recorded(self):
+        t = self._tracer()
+        t.kernel("dct4", iters=1, reads=np.array([], dtype=np.uint64))
+        mem = [e for e in t.stream.events if isinstance(e, MemoryEvent)]
+        assert not mem
+
+    def test_summary_fields(self):
+        t = self._tracer()
+        t.kernel("dct4", iters=2)
+        summary = t.stream.summary()
+        assert summary["instructions"] > 0
+        assert "branches" in summary and "events" in summary

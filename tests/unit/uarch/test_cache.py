@@ -1,0 +1,134 @@
+"""Unit tests for repro.uarch.cache."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.cache import Cache, CacheHierarchy
+from repro.uarch.config import CacheParams
+
+
+def _cache(size=1024, assoc=2, line=64, name="test"):
+    return Cache(CacheParams(size, assoc, line_bytes=line), name)
+
+
+class TestCacheGeometry:
+    def test_n_sets(self):
+        params = CacheParams(1024, 2, line_bytes=64)  # 16 lines, 2-way -> 8 sets
+        assert params.n_sets == 8
+
+    def test_too_small_for_assoc_rejected(self):
+        with pytest.raises(ValueError):
+            CacheParams(64, 8, line_bytes=64)
+
+    def test_scaled_preserves_min(self):
+        params = CacheParams(1024, 8, line_bytes=64)
+        scaled = params.scaled(1000.0)
+        assert scaled.size_bytes == 8 * 64  # clamped to assoc * line
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheParams(1024, 2, line_bytes=48))
+
+
+class TestLruBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = _cache()
+        assert c.access_line(5) is False  # compulsory miss
+        assert c.access_line(5) is True  # now resident
+
+    def test_capacity_eviction_lru_order(self):
+        c = _cache(size=2 * 64, assoc=2, line=64)  # one set, 2 ways
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(2)  # evicts 0 (LRU)
+        assert c.access_line(1) is True
+        assert c.access_line(0) is False  # was evicted
+
+    def test_touch_refreshes_lru(self):
+        c = _cache(size=2 * 64, assoc=2, line=64)
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # refresh 0; 1 becomes LRU
+        c.access_line(2)  # evicts 1
+        assert c.access_line(0) is True
+        assert c.access_line(1) is False
+
+    def test_set_isolation(self):
+        c = _cache(size=4 * 64, assoc=1, line=64)  # 4 direct-mapped sets
+        c.access_line(0)  # set 0
+        c.access_line(1)  # set 1
+        assert c.access_line(0) is True  # set 1 traffic didn't evict set 0
+
+    def test_stats_weighting(self):
+        c = _cache()
+        c.access_line(1, weight=3.0)
+        c.access_line(1, weight=3.0)
+        assert c.stats.accesses == 6.0
+        assert c.stats.misses == 3.0
+        assert c.stats.hits == 3.0
+
+    def test_mpki(self):
+        c = _cache()
+        c.access_line(1)
+        assert c.stats.mpki(1000) == pytest.approx(1.0)
+        assert c.stats.mpki(0) == 0.0
+
+    def test_reset_stats(self):
+        c = _cache()
+        c.access_line(1)
+        c.reset_stats()
+        assert c.stats.accesses == 0
+
+
+class TestHierarchy:
+    def _hier(self):
+        l1 = _cache(size=2 * 64, assoc=2, name="l1")
+        l2 = _cache(size=8 * 64, assoc=4, name="l2")
+        return CacheHierarchy([l1, l2]), l1, l2
+
+    def test_miss_propagates(self):
+        hier, l1, l2 = self._hier()
+        hier.access(np.array([0], dtype=np.uint64))
+        assert l1.stats.misses == 1
+        assert l2.stats.misses == 1
+        assert hier.mem_accesses == 1
+
+    def test_l1_hit_does_not_touch_l2(self):
+        hier, l1, l2 = self._hier()
+        addr = np.array([0], dtype=np.uint64)
+        hier.access(addr)
+        hier.access(addr)
+        assert l2.stats.accesses == 1  # only the initial miss
+
+    def test_l2_catches_l1_evictions(self):
+        hier, l1, l2 = self._hier()
+        # Touch 3 lines in L1's single set (2-way): line 0 evicted from L1
+        # but stays in L2.
+        for line in (0, 1, 2):
+            hier.access(np.array([line * 64], dtype=np.uint64))
+        mem_before = hier.mem_accesses
+        hier.access(np.array([0], dtype=np.uint64))
+        assert hier.mem_accesses == mem_before  # L2 hit, no memory access
+
+    def test_consecutive_same_line_collapsed_as_hits(self):
+        hier, l1, _ = self._hier()
+        addrs = np.array([0, 8, 16, 63], dtype=np.uint64)  # all in line 0
+        hier.access(addrs)
+        assert l1.stats.accesses == 4.0
+        assert l1.stats.misses == 1.0
+
+    def test_empty_batch_noop(self):
+        hier, l1, _ = self._hier()
+        hier.access(np.array([], dtype=np.uint64))
+        assert l1.stats.accesses == 0
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_stats_snapshot(self):
+        hier, _, _ = self._hier()
+        hier.access(np.array([0, 64], dtype=np.uint64))
+        stats = hier.stats()
+        assert stats.levels["l1"].accesses == 2
+        assert stats.mem_accesses == 2

@@ -1,0 +1,67 @@
+"""Unit tests for repro.video.io (.ylm container)."""
+
+import numpy as np
+import pytest
+
+from repro.video.frame import FrameSequence
+from repro.video.io import read_ylm, write_ylm
+
+
+def _seq(n=3, h=32, w=48, fps=29.97):
+    rng = np.random.default_rng(4)
+    lumas = [rng.integers(0, 256, (h, w)).astype(np.uint8) for _ in range(n)]
+    return FrameSequence.from_lumas(lumas, fps=fps, name="io-test")
+
+
+class TestRoundTrip:
+    def test_lossless(self, tmp_path):
+        seq = _seq()
+        path = tmp_path / "clip.ylm"
+        write_ylm(path, seq)
+        back = read_ylm(path)
+        assert len(back) == len(seq)
+        assert back.fps == pytest.approx(seq.fps)
+        assert np.array_equal(back.lumas(), seq.lumas())
+
+    def test_byte_count(self, tmp_path):
+        seq = _seq(n=2, h=16, w=16)
+        path = tmp_path / "c.ylm"
+        n = write_ylm(path, seq)
+        assert n == path.stat().st_size
+
+    def test_name_from_filename(self, tmp_path):
+        path = tmp_path / "myclip.ylm"
+        write_ylm(path, _seq())
+        assert read_ylm(path).name == "myclip"
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ylm"
+        path.write_bytes(b"NOPE width=1 height=1 fps=1 frames=1\n\x00")
+        with pytest.raises(ValueError, match="not a YLM1"):
+            read_ylm(path)
+
+    def test_malformed_header_token(self, tmp_path):
+        path = tmp_path / "bad.ylm"
+        path.write_bytes(b"YLM1 width=16 height 16 fps=30 frames=1\n" + b"\x00" * 256)
+        with pytest.raises(ValueError, match="malformed"):
+            read_ylm(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.ylm"
+        path.write_bytes(b"YLM1 width=16 fps=30 frames=1\n" + b"\x00" * 256)
+        with pytest.raises(ValueError, match="malformed"):
+            read_ylm(path)
+
+    def test_truncated_frame(self, tmp_path):
+        path = tmp_path / "trunc.ylm"
+        path.write_bytes(b"YLM1 width=16 height=16 fps=30 frames=2\n" + b"\x00" * 256)
+        with pytest.raises(ValueError, match="truncated frame 1"):
+            read_ylm(path)
+
+    def test_invalid_geometry(self, tmp_path):
+        path = tmp_path / "geo.ylm"
+        path.write_bytes(b"YLM1 width=0 height=16 fps=30 frames=1\n")
+        with pytest.raises(ValueError, match="invalid geometry"):
+            read_ylm(path)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.video.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.video.synthetic import SceneSpec, generate_scene
+
+
+def _spec(**kw):
+    base = dict(width=48, height=32, n_frames=4, seed=5, name="t")
+    base.update(kw)
+    return SceneSpec(**base)
+
+
+class TestSceneSpec:
+    def test_validation_ranges(self):
+        with pytest.raises(ValueError):
+            _spec(texture_detail=1.5)
+        with pytest.raises(ValueError):
+            _spec(motion_magnitude=-0.1)
+        with pytest.raises(ValueError):
+            _spec(scene_cut_period=-1)
+        with pytest.raises(ValueError):
+            _spec(n_frames=0)
+
+    def test_scaled_preserves_knobs(self):
+        spec = _spec(texture_detail=0.7, motion_magnitude=0.2)
+        scaled = spec.scaled(96, 64, 8)
+        assert scaled.width == 96 and scaled.height == 64 and scaled.n_frames == 8
+        assert scaled.texture_detail == 0.7
+        assert scaled.motion_magnitude == 0.2
+
+
+class TestGenerateScene:
+    def test_geometry(self):
+        clip = generate_scene(_spec())
+        assert len(clip) == 4
+        assert clip.resolution == (48, 32)
+        assert clip.frames[0].luma.dtype == np.uint8
+
+    def test_deterministic(self):
+        a = generate_scene(_spec()).lumas()
+        b = generate_scene(_spec()).lumas()
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_content(self):
+        a = generate_scene(_spec(seed=1)).lumas()
+        b = generate_scene(_spec(seed=2)).lumas()
+        assert not np.array_equal(a, b)
+
+    def test_zero_motion_zero_noise_is_static(self):
+        clip = generate_scene(
+            _spec(motion_magnitude=0.0, motion_irregularity=0.0, noise_level=0.0)
+        )
+        lumas = clip.lumas()
+        assert np.array_equal(lumas[0], lumas[-1])
+
+    def test_motion_changes_frames(self):
+        clip = generate_scene(_spec(motion_magnitude=0.8, noise_level=0.0))
+        lumas = clip.lumas()
+        assert not np.array_equal(lumas[0], lumas[1])
+
+    def test_higher_motion_bigger_frame_diff(self):
+        slow = generate_scene(_spec(motion_magnitude=0.05, noise_level=0.0)).lumas()
+        fast = generate_scene(_spec(motion_magnitude=0.9, noise_level=0.0)).lumas()
+        d_slow = np.abs(np.diff(slow.astype(float), axis=0)).mean()
+        d_fast = np.abs(np.diff(fast.astype(float), axis=0)).mean()
+        assert d_fast > d_slow
+
+    def test_texture_detail_raises_gradient_energy(self):
+        smooth = generate_scene(_spec(texture_detail=0.0, noise_level=0.0)).lumas()
+        rough = generate_scene(_spec(texture_detail=1.0, noise_level=0.0)).lumas()
+        g = lambda a: np.abs(np.diff(a.astype(float), axis=2)).mean()
+        assert g(rough) > g(smooth)
+
+    def test_scene_cut_creates_discontinuity(self):
+        spec = _spec(
+            n_frames=6, scene_cut_period=3,
+            motion_magnitude=0.0, motion_irregularity=0.0, noise_level=0.0,
+        )
+        lumas = generate_scene(spec).lumas().astype(float)
+        diff_within = np.abs(lumas[1] - lumas[0]).mean()
+        diff_at_cut = np.abs(lumas[3] - lumas[2]).mean()
+        assert diff_at_cut > diff_within + 5.0
+
+    def test_no_sprites_supported(self):
+        clip = generate_scene(_spec(n_sprites=0))
+        assert len(clip) == 4
