@@ -2,10 +2,13 @@
 
 Examples::
 
-    repro tab1              # Table I with measured entropies
+    repro tab1                        # Table I with measured entropies
     repro fig3 --scale quick
-    repro fig8 --scale medium
-    repro all               # every table and figure at the chosen scale
+    repro fig3 --telemetry out/       # also write out/run.json etc.
+    repro all                         # every table and figure
+    repro list                        # enumerate experiment ids
+    repro report out/run.json         # render a telemetry artifact
+    repro report --diff a/run.json b/run.json
 """
 
 from __future__ import annotations
@@ -13,8 +16,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
-from repro.experiments import EXPERIMENT_IDS
+import repro
+from repro.experiments import EXPERIMENT_DESCRIPTIONS, EXPERIMENT_IDS
 from repro.experiments.runner import SCALES
 
 __all__ = ["main"]
@@ -74,10 +79,99 @@ def _render(exp_id: str, scale) -> str:
     raise KeyError(exp_id)
 
 
+def _run_one(exp_id: str, scale, telemetry_dir: Path | None) -> str:
+    """Run one experiment, optionally under a telemetry session that
+    exports ``run.json`` / ``events.jsonl`` / ``trace.json``."""
+    if telemetry_dir is None:
+        return _render(exp_id, scale)
+
+    from repro.obs import export_session, span, telemetry_session
+
+    t0 = time.perf_counter()
+    status = "ok"
+    with telemetry_session() as tel:
+        tel.meta["argv_experiment"] = exp_id
+        try:
+            with span("experiment", id=exp_id, scale=scale.name):
+                output = _render(exp_id, scale)
+        except Exception:
+            status = "failed"
+            raise
+        finally:
+            paths = export_session(
+                tel,
+                telemetry_dir,
+                experiment=exp_id,
+                scale=scale.name,
+                wall_seconds=time.perf_counter() - t0,
+                status=status,
+            )
+            print(f"[{exp_id}] telemetry: {paths['run']}", file=sys.stderr)
+    return output
+
+
+def _list_main() -> int:
+    width = max(len(i) for i in EXPERIMENT_IDS)
+    for exp_id in EXPERIMENT_IDS:
+        print(f"{exp_id.ljust(width)}  {EXPERIMENT_DESCRIPTIONS[exp_id]}")
+    return 0
+
+
+def _report_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render or diff telemetry run.json artifacts.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="run.json",
+        help="one artifact to render, or two with --diff",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two artifacts metric by metric",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs import diff_runs, load_run, render_run
+
+    try:
+        if args.diff:
+            if len(args.artifacts) != 2:
+                parser.error("--diff needs exactly two run.json paths")
+            print(diff_runs(load_run(args.artifacts[0]),
+                            load_run(args.artifacts[1])))
+        else:
+            for i, path in enumerate(args.artifacts):
+                if i:
+                    print()
+                print(render_run(load_run(path)))
+    except (OSError, ValueError) as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # `list` and `report` are subcommands with their own options; the
+    # default command (run an experiment) keeps its historical flat form.
+    if argv[:1] == ["list"]:
+        return _list_main()
+    if argv[:1] == ["report"]:
+        return _report_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
+        epilog="Subcommands: `repro list` enumerates experiment ids; "
+               "`repro report <run.json> [--diff]` renders/diffs "
+               "telemetry artifacts.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     parser.add_argument(
         "experiment",
@@ -90,20 +184,49 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCALES),
         help="proxy sizing: quick (seconds-minutes), medium, full (hours)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="OUT_DIR",
+        default=None,
+        help="write run.json / events.jsonl / trace.json telemetry "
+             "artifacts into OUT_DIR (per-experiment subdirs under `all`)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise experiment failures with the full traceback",
+    )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
+    out_root = Path(args.telemetry) if args.telemetry else None
 
     ids = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
+    succeeded: list[str] = []
     for exp_id in ids:
+        out_dir = None
+        if out_root is not None:
+            out_dir = out_root / exp_id if len(ids) > 1 else out_root
         t0 = time.perf_counter()
         try:
-            output = _render(exp_id, scale)
+            output = _run_one(exp_id, scale, out_dir)
         except Exception as exc:  # surface which experiment failed
-            print(f"[{exp_id}] FAILED: {exc}", file=sys.stderr)
-            raise
+            if args.debug:
+                raise
+            print(f"[{exp_id}] FAILED: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+            if succeeded:
+                print(
+                    f"[{exp_id}] experiments completed before the failure: "
+                    + ", ".join(succeeded),
+                    file=sys.stderr,
+                )
+            print("(re-run with --debug for the full traceback)",
+                  file=sys.stderr)
+            return 1
         elapsed = time.perf_counter() - t0
         print(output)
         print(f"\n[{exp_id} done in {elapsed:.1f}s at scale={scale.name}]\n")
+        succeeded.append(exp_id)
     return 0
 
 

@@ -41,6 +41,7 @@ from repro.codec.types import (
     MBMode,
     MotionVector,
 )
+from repro.obs import session as obs
 from repro.trace.recorder import AddressMap, NullTracer, Tracer
 from repro.video.frame import FrameSequence
 from repro.video.metrics import bitrate_kbps, psnr_sequence
@@ -143,6 +144,31 @@ class Encoder:
     # public entry
     # ------------------------------------------------------------------
     def encode(self, video: FrameSequence) -> EncodeResult:
+        with obs.span(
+            "encode",
+            preset=self.options.preset_name,
+            crf=self.options.crf,
+            refs=self.options.refs,
+            n_frames=len(video),
+        ) as sp:
+            result = self._encode_impl(video)
+            sp.set(
+                psnr_db=round(result.psnr_db, 3),
+                bitrate_kbps=round(result.bitrate_kbps, 2),
+            )
+        tel = obs.current()
+        if tel is not None:
+            m = tel.metrics
+            m.counter("encoder.encodes").inc()
+            m.counter("encoder.frames").inc(len(video))
+            # The simulated heap the tracer hands out addresses from
+            # (AddressMap): the live working set of this encode.
+            m.histogram("encoder.heap_bytes").observe(
+                float(self._addr.bytes_allocated)
+            )
+        return result
+
+    def _encode_impl(self, video: FrameSequence) -> EncodeResult:
         start_time = time.perf_counter()
         options = self.options
 
@@ -200,55 +226,65 @@ class Encoder:
 
         for disp_idx in gop.decode_order:
             ftype = gop.frame_types[disp_idx]
-            src = sources[disp_idx]
-            self.tracer.begin_frame(ftype.value, disp_idx)
-            self._trace_frame_setup(src, src_bases[disp_idx])
+            with obs.span(
+                "encode.frame", index=disp_idx, type=ftype.value
+            ) as frame_span:
+                src = sources[disp_idx]
+                self.tracer.begin_frame(ftype.value, disp_idx)
+                self._trace_frame_setup(src, src_bases[disp_idx])
 
-            complexity = self._frame_complexity(sources, disp_idx)
-            base_qp = rc.frame_qp(ftype, complexity)
-            ctx = self._make_context(src, ftype, base_qp, disp_idx, dpb, n_mb_y, n_mb_x)
-
-            bits_before = writer.bit_count
-            self._write_frame_header(writer, disp_idx, ftype, base_qp)
-            mbs = self._encode_frame_mbs(ctx, writer, rc, src_bases[disp_idx], dpb)
-            chroma_recon = None
-            if chroma_active:
-                chroma_recon = self._encode_chroma(
-                    writer, video[disp_idx], ftype, disp_idx, dpb, base_qp
+                complexity = self._frame_complexity(sources, disp_idx)
+                base_qp = rc.frame_qp(ftype, complexity)
+                ctx = self._make_context(
+                    src, ftype, base_qp, disp_idx, dpb, n_mb_y, n_mb_x
                 )
-            frame_bits = writer.bit_count - bits_before
 
-            if options.deblock_enabled:
-                ctx.recon, n_edges = self._run_deblock(ctx.recon, base_qp)
-            rc.update(frame_bits)
-
-            coded_frames.append(
-                CodedFrame(
-                    index=disp_idx,
-                    frame_type=ftype,
-                    qp=base_qp,
-                    macroblocks=mbs,
-                    recon=ctx.recon,
-                    bits=frame_bits,
-                    chroma_recon=chroma_recon,
+                bits_before = writer.bit_count
+                self._write_frame_header(writer, disp_idx, ftype, base_qp)
+                mbs = self._encode_frame_mbs(
+                    ctx, writer, rc, src_bases[disp_idx], dpb
                 )
-            )
-            frame_stats.append(self._make_stats(ftype, base_qp, frame_bits, mbs))
-            self._trace_rc_update()
+                chroma_recon = None
+                if chroma_active:
+                    chroma_recon = self._encode_chroma(
+                        writer, video[disp_idx], ftype, disp_idx, dpb, base_qp
+                    )
+                frame_bits = writer.bit_count - bits_before
 
-            if ftype is not FrameType.B:
-                entry = _DpbEntry(
-                    display_index=disp_idx,
-                    padded=PaddedReference.from_plane(ctx.recon, pad),
-                    base_addr=dpb_bases[dpb_slot % len(dpb_bases)],
-                    chroma=chroma_recon,
+                if options.deblock_enabled:
+                    ctx.recon, n_edges = self._run_deblock(ctx.recon, base_qp)
+                rc.update(frame_bits)
+                frame_span.set(qp=base_qp, bits=frame_bits)
+
+                coded_frames.append(
+                    CodedFrame(
+                        index=disp_idx,
+                        frame_type=ftype,
+                        qp=base_qp,
+                        macroblocks=mbs,
+                        recon=ctx.recon,
+                        bits=frame_bits,
+                        chroma_recon=chroma_recon,
+                    )
                 )
-                dpb_slot += 1
-                dpb.append(entry)
-                dpb.sort(key=lambda e: e.display_index)
-                # Retain enough anchors for refs past + 1 future reference.
-                if len(dpb) > options.refs + 1:
-                    dpb.pop(0)
+                frame_stats.append(
+                    self._make_stats(ftype, base_qp, frame_bits, mbs)
+                )
+                self._trace_rc_update()
+
+                if ftype is not FrameType.B:
+                    entry = _DpbEntry(
+                        display_index=disp_idx,
+                        padded=PaddedReference.from_plane(ctx.recon, pad),
+                        base_addr=dpb_bases[dpb_slot % len(dpb_bases)],
+                        chroma=chroma_recon,
+                    )
+                    dpb_slot += 1
+                    dpb.append(entry)
+                    dpb.sort(key=lambda e: e.display_index)
+                    # Retain enough anchors for refs past + 1 future reference.
+                    if len(dpb) > options.refs + 1:
+                        dpb.pop(0)
 
         stream = CodedStream(
             width=video.width,

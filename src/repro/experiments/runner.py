@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.codec.options import EncoderOptions
 from repro.codec.presets import preset_options
+from repro.obs import session as obs
 from repro.profiling.counters import CounterSet
 from repro.profiling.perf import profile_transcode
 from repro.video.vbench import load_video
@@ -137,18 +138,23 @@ class SweepRunner:
         """Profile one (video, crf, refs, preset) point, memoized."""
         key = (video, crf, refs, preset, options.describe() if options else None)
         if key in self._run_cache:
+            obs.inc("sweep.cache_hits")
             return self._run_cache[key]
+        obs.inc("sweep.profiles")
         opts = (
             options
             if options is not None
             else preset_options(preset, crf=crf, refs=refs)
         )
-        result = profile_transcode(
-            self._video(video),
-            opts,
-            sample=self.scale.sample,
-            data_capacity_scale=self.scale.data_capacity_scale,
-        )
+        with obs.span(
+            "sweep.point", video=video, crf=crf, refs=refs, preset=preset
+        ):
+            result = profile_transcode(
+                self._video(video),
+                opts,
+                sample=self.scale.sample,
+                data_capacity_scale=self.scale.data_capacity_scale,
+            )
         record = SweepRecord(
             video=video, crf=crf, refs=refs, preset=preset, counters=result.counters
         )

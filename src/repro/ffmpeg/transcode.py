@@ -17,6 +17,7 @@ from repro.codec.decoder import decode as decode_stream
 from repro.codec.encoder import EncodeResult, Encoder, LoopOptimizations
 from repro.codec.options import EncoderOptions
 from repro.codec.presets import preset_options
+from repro.obs import session as obs
 from repro.trace.recorder import Tracer
 from repro.video.frame import FrameSequence
 
@@ -71,18 +72,26 @@ def transcode(
         name = preset if preset is not None else "medium"
         options = preset_options(name, crf=crf, refs=refs)
 
-    t0 = time.perf_counter()
-    if isinstance(source, bytes):
-        # The decode stage is traced too: a transcode profile covers the
-        # whole decode -> re-encode operation, like the paper's.
-        decoded = decode_stream(source, tracer=tracer)
-        frames = decoded.video
-    else:
-        frames = source
-    decode_seconds = time.perf_counter() - t0
+    with obs.span(
+        "transcode",
+        preset=options.preset_name,
+        crf=options.crf,
+        refs=options.refs,
+        source="bitstream" if isinstance(source, bytes) else "frames",
+    ):
+        t0 = time.perf_counter()
+        if isinstance(source, bytes):
+            # The decode stage is traced too: a transcode profile covers the
+            # whole decode -> re-encode operation, like the paper's.
+            with obs.span("transcode.decode", bytes=len(source)):
+                decoded = decode_stream(source, tracer=tracer)
+            frames = decoded.video
+        else:
+            frames = source
+        decode_seconds = time.perf_counter() - t0
 
-    encoder = Encoder(options, tracer=tracer, loop_opts=loop_opts)
-    encode_result = encoder.encode(frames)
+        encoder = Encoder(options, tracer=tracer, loop_opts=loop_opts)
+        encode_result = encoder.encode(frames)
     return TranscodeResult(
         encode=encode_result,
         decode_seconds=decode_seconds,

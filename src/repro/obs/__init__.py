@@ -1,0 +1,86 @@
+"""Telemetry subsystem: spans, metrics, and machine-readable run artifacts.
+
+The observability layer for the encode → simulate → schedule pipeline.
+Three pieces:
+
+- :mod:`repro.obs.spans` — nested wall-clock spans with attributes;
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+- :mod:`repro.obs.export` — JSONL event stream, Chrome trace, and the
+  validated ``run.json`` artifact (plus rendering/diffing for
+  ``repro report``).
+
+Instrumented code uses only the cheap front-door helpers re-exported
+here (:func:`span`, :func:`inc`, :func:`observe`, :func:`set_gauge`,
+:func:`current`, :func:`enabled`); they no-op when no
+:func:`telemetry_session` is active, which is the default. The CLI's
+``--telemetry OUT_DIR`` flag opens a session around each experiment and
+exports its artifacts — see the README's "Telemetry & run artifacts"
+section for the schema.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import (
+    Telemetry,
+    current,
+    enabled,
+    inc,
+    observe,
+    set_gauge,
+    span,
+    telemetry_session,
+)
+from repro.obs.spans import SpanRecord, SpanRecorder
+
+#: Exporter symbols resolved lazily (PEP 562): the hot modules import
+#: `repro.obs.session` at startup, and that must not drag in the
+#: exporter's subprocess/json machinery on the untelemetered path.
+_EXPORT_SYMBOLS = frozenset({
+    "RUN_SCHEMA",
+    "SCHEMA_VERSION",
+    "build_run_artifact",
+    "chrome_trace",
+    "diff_runs",
+    "export_session",
+    "load_run",
+    "read_events_jsonl",
+    "render_run",
+    "validate_run",
+    "write_events_jsonl",
+    "git_revision",
+})
+
+
+def __getattr__(name: str):
+    if name in _EXPORT_SYMBOLS:
+        from repro.obs import export
+
+        return getattr(export, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "RUN_SCHEMA",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanRecorder",
+    "Telemetry",
+    "build_run_artifact",
+    "chrome_trace",
+    "current",
+    "diff_runs",
+    "enabled",
+    "export_session",
+    "inc",
+    "load_run",
+    "observe",
+    "read_events_jsonl",
+    "render_run",
+    "set_gauge",
+    "span",
+    "telemetry_session",
+    "validate_run",
+    "write_events_jsonl",
+]

@@ -1,0 +1,292 @@
+"""Exporters: JSONL event streams, ``run.json`` artifacts, Chrome traces.
+
+One telemetry session produces three machine-readable artifacts:
+
+``events.jsonl``
+    One JSON object per closed span — the raw event stream, grep- and
+    stream-friendly.
+``trace.json``
+    The span tree in Chrome trace-event format (``"X"`` complete
+    events); load it at ``chrome://tracing`` or https://ui.perfetto.dev.
+``run.json``
+    The single-file summary of a run, validated against
+    :data:`RUN_SCHEMA`: experiment id, scale, git revision, wall time,
+    every metric in the registry, a Top-down summary, and per-span-name
+    totals. This is the artifact the ``repro report`` subcommand renders
+    and diffs, and the unit the benchmark trajectory tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+from repro._util import format_table
+from repro.obs.session import Telemetry
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RUN_SCHEMA",
+    "chrome_trace",
+    "build_run_artifact",
+    "validate_run",
+    "load_run",
+    "export_session",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "render_run",
+    "diff_runs",
+    "git_revision",
+]
+
+SCHEMA_VERSION = 1
+
+#: ``run.json`` top-level schema: field name -> (required, type(s), doc).
+RUN_SCHEMA: dict[str, tuple[bool, tuple[type, ...], str]] = {
+    "schema_version": (True, (int,), "artifact schema version (currently 1)"),
+    "experiment": (True, (str,), "experiment id, e.g. 'fig3'"),
+    "scale": (True, (str,), "proxy scale name: quick | medium | full"),
+    "status": (True, (str,), "'ok' or 'failed'"),
+    "git_rev": (True, (str,), "short git revision ('unknown' outside a checkout)"),
+    "created_unix": (True, (int, float), "artifact creation time (epoch seconds)"),
+    "wall_seconds": (True, (int, float), "experiment wall-clock duration"),
+    "metrics": (True, (dict,), "metrics registry snapshot: name -> scalar "
+                               "(counter/gauge) or summary dict (histogram)"),
+    "topdown": (True, (dict,), "mean Top-down slot percentages over the run's "
+                               "profiled transcodes (may be empty)"),
+    "spans": (True, (dict,), "per-span-name {calls, total_s} totals"),
+    "meta": (False, (dict,), "free-form session metadata"),
+}
+
+
+def git_revision() -> str:
+    """Short revision of the repo this module lives in, or 'unknown'."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace + JSONL
+# ----------------------------------------------------------------------
+
+def chrome_trace(records: list[SpanRecord]) -> dict[str, object]:
+    """Span records as a Chrome trace-event document (complete events)."""
+    events = [
+        {
+            "name": r.name,
+            "ph": "X",
+            "ts": r.start_ns / 1000.0,  # trace-event timestamps are µs
+            "dur": r.duration_ns / 1000.0,
+            "pid": 1,
+            "tid": 1,
+            "args": {k: _jsonable(v) for k, v in r.attrs.items()},
+        }
+        for r in sorted(records, key=lambda r: (r.start_ns, r.depth))
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(v: object) -> object:
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+def write_events_jsonl(records: list[SpanRecord], path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for r in records:
+            fh.write(json.dumps(r.as_dict(), default=str) + "\n")
+
+
+def read_events_jsonl(path: str | Path) -> list[dict[str, object]]:
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# run.json
+# ----------------------------------------------------------------------
+
+def build_run_artifact(
+    telemetry: Telemetry,
+    *,
+    experiment: str,
+    scale: str,
+    wall_seconds: float,
+    status: str = "ok",
+) -> dict[str, object]:
+    """Assemble the ``run.json`` document from a finished session."""
+    metrics = telemetry.metrics.as_dict()
+    topdown = {
+        name.split(".", 1)[1]: snap["mean"]
+        for name, snap in metrics.items()
+        if name.startswith("topdown.") and isinstance(snap, dict)
+    }
+    artifact: dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "scale": scale,
+        "status": status,
+        "git_rev": git_revision(),
+        "created_unix": time.time(),
+        "wall_seconds": float(wall_seconds),
+        "metrics": metrics,
+        "topdown": topdown,
+        "spans": telemetry.spans.totals(),
+        "meta": {k: _jsonable(v) for k, v in telemetry.meta.items()},
+    }
+    validate_run(artifact)
+    return artifact
+
+
+def validate_run(obj: object) -> dict[str, object]:
+    """Check ``obj`` against :data:`RUN_SCHEMA`; raise ``ValueError`` if bad."""
+    if not isinstance(obj, dict):
+        raise ValueError(f"run artifact must be an object, got {type(obj).__name__}")
+    for name, (required, types, _doc) in RUN_SCHEMA.items():
+        if name not in obj:
+            if required:
+                raise ValueError(f"run artifact missing required field {name!r}")
+            continue
+        if not isinstance(obj[name], types):
+            expected = "/".join(t.__name__ for t in types)
+            raise ValueError(
+                f"run artifact field {name!r} must be {expected}, "
+                f"got {type(obj[name]).__name__}"
+            )
+    unknown = set(obj) - set(RUN_SCHEMA)
+    if unknown:
+        raise ValueError(f"run artifact has unknown fields: {sorted(unknown)}")
+    if obj["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {obj['schema_version']!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    return obj
+
+
+def load_run(path: str | Path) -> dict[str, object]:
+    with open(path, encoding="utf-8") as fh:
+        return validate_run(json.load(fh))
+
+
+def export_session(
+    telemetry: Telemetry,
+    out_dir: str | Path,
+    *,
+    experiment: str,
+    scale: str,
+    wall_seconds: float,
+    status: str = "ok",
+) -> dict[str, Path]:
+    """Write run.json + events.jsonl + trace.json into ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    artifact = build_run_artifact(
+        telemetry,
+        experiment=experiment,
+        scale=scale,
+        wall_seconds=wall_seconds,
+        status=status,
+    )
+    paths = {
+        "run": out / "run.json",
+        "events": out / "events.jsonl",
+        "trace": out / "trace.json",
+    }
+    with open(paths["run"], "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    write_events_jsonl(telemetry.spans.finished, paths["events"])
+    with open(paths["trace"], "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(telemetry.spans.finished), fh)
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Rendering + diffing (the `repro report` subcommand)
+# ----------------------------------------------------------------------
+
+def _flatten_metrics(artifact: dict[str, object]) -> dict[str, float]:
+    """Scalar view of a run's metrics: histograms contribute their
+    mean/count, counters and gauges their value."""
+    flat: dict[str, float] = {}
+    for name, snap in artifact["metrics"].items():  # type: ignore[union-attr]
+        if isinstance(snap, dict):
+            flat[f"{name}.mean"] = float(snap.get("mean", 0.0))
+            flat[f"{name}.count"] = float(snap.get("count", 0.0))
+        else:
+            flat[name] = float(snap)
+    flat["wall_seconds"] = float(artifact["wall_seconds"])  # type: ignore[arg-type]
+    return flat
+
+
+def render_run(artifact: dict[str, object]) -> str:
+    """Human-readable view of one ``run.json``."""
+    head = (
+        f"run: {artifact['experiment']} @ scale={artifact['scale']} "
+        f"[{artifact['status']}]\n"
+        f"git={artifact['git_rev']}  wall={artifact['wall_seconds']:.2f}s  "
+        f"schema=v{artifact['schema_version']}"
+    )
+    parts = [head]
+    topdown = artifact.get("topdown") or {}
+    if topdown:
+        rows = [[k, v] for k, v in sorted(topdown.items())]
+        parts.append("\ntopdown (mean % of slots):\n"
+                     + format_table(["slot", "%"], rows, floatfmt=".2f"))
+    flat = _flatten_metrics(artifact)
+    rows = [[k, v] for k, v in sorted(flat.items())]
+    parts.append("\nmetrics:\n" + format_table(["metric", "value"], rows,
+                                               floatfmt=".4g"))
+    spans = artifact.get("spans") or {}
+    if spans:
+        rows = [[name, agg["calls"], agg["total_s"]]
+                for name, agg in sorted(spans.items())]
+        parts.append("\nspans:\n"
+                     + format_table(["span", "calls", "total s"], rows,
+                                    floatfmt=".4g"))
+    return "\n".join(parts)
+
+
+def diff_runs(a: dict[str, object], b: dict[str, object]) -> str:
+    """Metric-by-metric comparison of two run artifacts."""
+    head = (
+        f"diff: {a['experiment']}@{a['scale']} ({a['git_rev']})  vs  "
+        f"{b['experiment']}@{b['scale']} ({b['git_rev']})"
+    )
+    fa, fb = _flatten_metrics(a), _flatten_metrics(b)
+    rows = []
+    for name in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(name), fb.get(name)
+        if va is None or vb is None:
+            rows.append([name,
+                         "-" if va is None else format(va, ".4g"),
+                         "-" if vb is None else format(vb, ".4g"),
+                         "(only one run)", ""])
+            continue
+        delta = vb - va
+        pct = f"{delta / va * 100.0:+.2f}%" if va else ("+inf%" if delta else "0%")
+        rows.append([name, format(va, ".4g"), format(vb, ".4g"),
+                     format(delta, "+.4g"), pct])
+    table = format_table(["metric", "a", "b", "delta", "delta %"], rows)
+    return head + "\n" + table

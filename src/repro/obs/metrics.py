@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+This is the aggregation side of the telemetry subsystem — the place the
+pipeline's previously ad-hoc numbers land: encoder kernel invocation
+counts, simulator cache/branch event totals, scheduler queue depths,
+tracer heap bytes. Everything is plain Python floats and dicts so a
+registry snapshot serializes straight into ``run.json``.
+
+Histograms use fixed bucket bounds (default: log-spaced decades with
+1-2-5 subdivision, covering nanoseconds-to-hours and bytes-to-GiB-scale
+magnitudes) and estimate percentiles by linear interpolation inside the
+bucket containing the requested rank — the classic Prometheus-style
+scheme, with exact min/max tracked alongside so the interpolation is
+clamped to observed values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "default_buckets"]
+
+
+def default_buckets() -> tuple[float, ...]:
+    """Log-spaced 1-2-5 bucket upper bounds from 1e-9 up to 1e9."""
+    bounds: list[float] = []
+    for exp in range(-9, 10):
+        for mant in (1.0, 2.0, 5.0):
+            bounds.append(mant * 10.0 ** exp)
+    return tuple(bounds)
+
+
+_DEFAULT_BUCKETS = default_buckets()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (queue depth, heap bytes, config knobs)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything above the last edge. Exact count/sum/min/max are
+    kept alongside the bucket counts.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        edges = tuple(bounds) if bounds is not None else _DEFAULT_BUCKETS
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = edges
+        self.bucket_counts = [0.0] * (len(edges) + 1)  # + overflow
+        self.count = 0.0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float, weight: float = 1.0) -> None:
+        v = float(v)
+        self.count += weight
+        self.total += v * weight
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        self.bucket_counts[self._bucket_index(v)] += weight
+
+    def _bucket_index(self, v: float) -> int:
+        # Binary search over the inclusive upper edges.
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if v <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cum = 0.0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                # Interpolate inside bucket i, clamped to observed range.
+                lower = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                frac = (rank - cum) / n
+                return lower + frac * (upper - lower)
+            cum += n
+        return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name → metric map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] | None = None) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, object]:
+        """Snapshot every metric: scalars for counters/gauges, summary
+        dicts for histograms. Sorted by name for stable artifacts."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}

@@ -1,0 +1,106 @@
+"""The telemetry session: one global slot, cheap front-door helpers.
+
+Instrumented code throughout the pipeline calls the module-level helpers
+(:func:`span`, :func:`inc`, :func:`observe`, :func:`set_gauge`) without
+caring whether telemetry is on. The contract is:
+
+- **disabled (default)**: no session is installed; every helper is a
+  single attribute load plus a ``None`` check and returns immediately
+  (``span`` returns a shared no-op context manager). Nothing is
+  allocated beyond the kwargs dict at the call site, which is why the
+  instrumentation sits at frame/window/task granularity rather than
+  per-macroblock.
+- **enabled**: :func:`telemetry_session` installs a :class:`Telemetry`
+  (span recorder + metrics registry) for the duration of a ``with``
+  block, and the helpers route into it.
+
+The slot is process-global and sessions do not nest: experiments are
+run one at a time by the CLI, and the one-run-one-artifact model is what
+makes ``run.json`` comparable across invocations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPAN, SpanRecorder
+
+__all__ = [
+    "Telemetry",
+    "telemetry_session",
+    "current",
+    "enabled",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+
+class Telemetry:
+    """One session's telemetry state: span tree + metrics registry."""
+
+    def __init__(self) -> None:
+        self.spans = SpanRecorder()
+        self.metrics = MetricsRegistry()
+        self.meta: dict[str, object] = {}
+
+
+_current: Telemetry | None = None
+
+
+def current() -> Telemetry | None:
+    """The installed session, or ``None`` when telemetry is disabled."""
+    return _current
+
+
+def enabled() -> bool:
+    return _current is not None
+
+
+@contextmanager
+def telemetry_session():
+    """Install a fresh :class:`Telemetry` for the duration of the block."""
+    global _current
+    if _current is not None:
+        raise RuntimeError("a telemetry session is already active")
+    tel = Telemetry()
+    _current = tel
+    try:
+        yield tel
+    finally:
+        _current = None
+
+
+# ----------------------------------------------------------------------
+# Front-door helpers (the only API instrumented modules should use).
+# ----------------------------------------------------------------------
+
+def span(name: str, **attrs: object):
+    """Open a nested wall-clock span (no-op context manager if disabled)."""
+    tel = _current
+    if tel is None:
+        return NULL_SPAN
+    return tel.spans.span(name, **attrs)
+
+
+def inc(name: str, n: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op if disabled)."""
+    tel = _current
+    if tel is not None:
+        tel.metrics.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op if disabled)."""
+    tel = _current
+    if tel is not None:
+        tel.metrics.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op if disabled)."""
+    tel = _current
+    if tel is not None:
+        tel.metrics.gauge(name).set(value)

@@ -1,0 +1,169 @@
+"""Wall-clock span tree: the trace side of the telemetry subsystem.
+
+A :class:`SpanRecorder` hands out context managers that time nested
+regions of the pipeline (experiment → sweep → transcode → encode/frame →
+simulate/window → schedule/place). Every closed span becomes an immutable
+:class:`SpanRecord` carrying its parent linkage, nesting depth, and
+free-form attributes, which is exactly the shape the Chrome-trace and
+JSONL exporters in :mod:`repro.obs.export` need.
+
+The recorder is deliberately dumb and fast: a monotonic clock read on
+enter and exit, one list append on exit. When telemetry is disabled the
+instrumented code never reaches this module at all — the
+:func:`repro.obs.session.span` front door returns a shared no-op context
+manager instead (see that module for the near-zero-overhead contract).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanRecorder", "NULL_SPAN"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed (closed) span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_ns: int
+    end_ns: int
+    depth: int
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_ns - self.start_ns) / 1e9
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready flat representation (JSONL event stream rows)."""
+        return {
+            "kind": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one open span; records itself on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id",
+                 "depth", "start_ns")
+
+    def __init__(self, recorder: "SpanRecorder", name: str,
+                 attrs: dict[str, object]) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered after the span opened."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        rec = self._recorder
+        self.span_id = rec._next_id
+        rec._next_id += 1
+        stack = rec._stack
+        self.parent_id = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self.span_id)
+        self.start_ns = rec._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = self._recorder
+        end_ns = rec._clock()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        rec._stack.pop()
+        rec.finished.append(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start_ns=self.start_ns,
+                end_ns=end_ns,
+                depth=self.depth,
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span used when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects a session's span tree.
+
+    Parameters
+    ----------
+    clock:
+        Nanosecond monotonic clock; injectable so tests can assert exact
+        durations.
+    """
+
+    def __init__(self, *, clock=time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[int] = []
+        self.finished: list[SpanRecord] = []
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        return _ActiveSpan(self, name, attrs)
+
+    # ------------------------------------------------------------------
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def roots(self) -> list[SpanRecord]:
+        return [s for s in self.finished if s.parent_id is None]
+
+    def by_name(self) -> dict[str, list[SpanRecord]]:
+        out: dict[str, list[SpanRecord]] = {}
+        for s in self.finished:
+            out.setdefault(s.name, []).append(s)
+        return out
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-span-name call counts and total self-inclusive seconds."""
+        out: dict[str, dict[str, float]] = {}
+        for s in self.finished:
+            agg = out.setdefault(s.name, {"calls": 0.0, "total_s": 0.0})
+            agg["calls"] += 1
+            agg["total_s"] += s.duration_s
+        return out
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._stack.clear()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.codec.encoder import EncodeResult, Encoder, LoopOptimizations
 from repro.codec.options import EncoderOptions
+from repro.obs import session as obs
 from repro.profiling.counters import CounterSet
 from repro.trace.kernels import build_program
 from repro.trace.program import Program
@@ -81,15 +82,44 @@ def profile_transcode(
     elif cfg.data_capacity_scale == 1.0:
         cfg = cfg.with_updates(data_capacity_scale=DEFAULT_DATA_SCALE)
 
-    tracer = RecordingTracer(prog, sample=sample)
-    encoder = Encoder(opts, tracer=tracer, loop_opts=loop_opts)
-    encode_result = encoder.encode(video)
-    report = simulate(tracer.stream, prog, cfg)
+    with obs.span(
+        "profile_transcode",
+        video=video.name,
+        preset=opts.preset_name,
+        crf=opts.crf,
+        refs=opts.refs,
+        config=cfg.name,
+    ):
+        tracer = RecordingTracer(prog, sample=sample)
+        encoder = Encoder(opts, tracer=tracer, loop_opts=loop_opts)
+        encode_result = encoder.encode(video)
+        report = simulate(tracer.stream, prog, cfg)
     counters = CounterSet.from_report(
         report,
         psnr_db=encode_result.psnr_db,
         bitrate_kbps=encode_result.bitrate_kbps,
     )
+    _absorb_profile(tracer, counters)
     return ProfileResult(
         encode=encode_result, report=report, counters=counters, program=prog
     )
+
+
+def _absorb_profile(tracer: RecordingTracer, counters: CounterSet) -> None:
+    """Fold one profiled transcode into the active metrics registry."""
+    tel = obs.current()
+    if tel is None:
+        return
+    m = tel.metrics
+    m.counter("profile.transcodes").inc()
+    for kernel, calls in tracer.stream.kernel_calls.items():
+        m.counter(f"encoder.kernel_calls.{kernel}").inc(calls)
+    # Top-down slot shares and the Fig. 2 triangle, as distributions over
+    # the run's profiled points — run.json summarizes their means.
+    for name in ("retiring", "bad_speculation", "frontend_bound",
+                 "backend_bound", "memory_bound", "core_bound"):
+        m.histogram(f"topdown.{name}").observe(getattr(counters, name))
+    m.histogram("profile.time_seconds").observe(counters.time_seconds)
+    m.histogram("profile.psnr_db").observe(counters.psnr_db)
+    m.histogram("profile.bitrate_kbps").observe(counters.bitrate_kbps)
+    m.histogram("profile.ipc").observe(counters.ipc)

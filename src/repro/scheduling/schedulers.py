@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.obs import session as obs
 from repro.profiling.counters import CounterSet
 from repro.scheduling.affinity import affinity_scores
 from repro.scheduling.task import TranscodeTask
@@ -67,6 +68,24 @@ def _check_inputs(
                 )
 
 
+def _observe_schedule(assignment: Assignment, n_tasks: int) -> Assignment:
+    """Absorb one scheduling decision into the metrics registry."""
+    tel = obs.current()
+    if tel is not None:
+        m = tel.metrics
+        m.counter("scheduler.schedules").inc()
+        m.counter(f"scheduler.{assignment.scheduler}.tasks_placed").inc(
+            len(assignment.task_cycles)
+        )
+        # Queue depth at placement time: all tasks arrive at once in the
+        # paper's case study, so depth == batch size per decision.
+        m.histogram("scheduler.queue_depth").observe(n_tasks)
+        m.histogram(
+            f"scheduler.{assignment.scheduler}.speedup_pct"
+        ).observe(assignment.mean_speedup_pct)
+    return assignment
+
+
 class RandomScheduler:
     """Uniform random placement, evaluated in expectation."""
 
@@ -81,17 +100,22 @@ class RandomScheduler:
         counters: dict[int, CounterSet] | None = None,
     ) -> Assignment:
         _check_inputs(tasks, cycles, config_names)
-        task_cycles = {
-            t.task_id: float(
-                np.mean([cycles[t.task_id][c] for c in config_names])
-            )
-            for t in tasks
-        }
-        return Assignment(
-            scheduler=self.name,
-            placement={t.task_id: "<average>" for t in tasks},
-            task_cycles=task_cycles,
-            baseline_cycles=dict(baseline_cycles),
+        task_cycles: dict[int, float] = {}
+        with obs.span("schedule", scheduler=self.name, tasks=len(tasks)):
+            for t in tasks:
+                with obs.span("schedule.place", scheduler=self.name,
+                              task=t.task_id, config="<average>"):
+                    task_cycles[t.task_id] = float(
+                        np.mean([cycles[t.task_id][c] for c in config_names])
+                    )
+        return _observe_schedule(
+            Assignment(
+                scheduler=self.name,
+                placement={t.task_id: "<average>" for t in tasks},
+                task_cycles=task_cycles,
+                baseline_cycles=dict(baseline_cycles),
+            ),
+            len(tasks),
         )
 
 
@@ -122,23 +146,29 @@ class SmartScheduler:
                 "one-to-one scheduling needs as many servers as tasks "
                 f"({len(tasks)} tasks, {len(config_names)} servers)"
             )
-        score = np.zeros((len(tasks), len(config_names)))
-        for i, task in enumerate(tasks):
-            scores = affinity_scores(counters[task.task_id])
-            for j, name in enumerate(config_names):
-                score[i, j] = scores.get(name, 0.0)
-        rows, cols = linear_sum_assignment(-score)  # maximize
-        placement = {
-            tasks[i].task_id: config_names[j] for i, j in zip(rows, cols)
-        }
-        task_cycles = {
-            tid: cycles[tid][cfg] for tid, cfg in placement.items()
-        }
-        return Assignment(
-            scheduler=self.name,
-            placement=placement,
-            task_cycles=task_cycles,
-            baseline_cycles=dict(baseline_cycles),
+        with obs.span("schedule", scheduler=self.name, tasks=len(tasks)):
+            with obs.span("schedule.affinity", tasks=len(tasks)):
+                score = np.zeros((len(tasks), len(config_names)))
+                for i, task in enumerate(tasks):
+                    scores = affinity_scores(counters[task.task_id])
+                    for j, name in enumerate(config_names):
+                        score[i, j] = scores.get(name, 0.0)
+            with obs.span("schedule.assign", algorithm="hungarian"):
+                rows, cols = linear_sum_assignment(-score)  # maximize
+            placement = {
+                tasks[i].task_id: config_names[j] for i, j in zip(rows, cols)
+            }
+            task_cycles = {
+                tid: cycles[tid][cfg] for tid, cfg in placement.items()
+            }
+        return _observe_schedule(
+            Assignment(
+                scheduler=self.name,
+                placement=placement,
+                task_cycles=task_cycles,
+                baseline_cycles=dict(baseline_cycles),
+            ),
+            len(tasks),
         )
 
 
@@ -156,14 +186,20 @@ class BestScheduler:
         counters: dict[int, CounterSet] | None = None,
     ) -> Assignment:
         _check_inputs(tasks, cycles, config_names)
-        placement = {
-            t.task_id: min(config_names, key=lambda c: cycles[t.task_id][c])
-            for t in tasks
-        }
+        placement: dict[int, str] = {}
+        with obs.span("schedule", scheduler=self.name, tasks=len(tasks)):
+            for t in tasks:
+                best = min(config_names, key=lambda c: cycles[t.task_id][c])
+                with obs.span("schedule.place", scheduler=self.name,
+                              task=t.task_id, config=best):
+                    placement[t.task_id] = best
         task_cycles = {tid: cycles[tid][cfg] for tid, cfg in placement.items()}
-        return Assignment(
-            scheduler=self.name,
-            placement=placement,
-            task_cycles=task_cycles,
-            baseline_cycles=dict(baseline_cycles),
+        return _observe_schedule(
+            Assignment(
+                scheduler=self.name,
+                placement=placement,
+                task_cycles=task_cycles,
+                baseline_cycles=dict(baseline_cycles),
+            ),
+            len(tasks),
         )

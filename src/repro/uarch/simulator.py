@@ -11,7 +11,9 @@ Top-down breakdown, MPKI, and resource-stall counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 
+from repro.obs import session as obs
 from repro.trace.events import BranchEvent, KernelEvent, MemoryEvent, TraceStream
 from repro.trace.program import Program
 from repro.uarch.branch import BranchModel, BranchStats
@@ -25,6 +27,9 @@ from repro.uarch.resources import MissProfile
 __all__ = ["Simulator", "SimReport", "simulate"]
 
 DEFAULT_FREQ_HZ = 3.5e9  # the paper's 3.5 GHz Xeon E3
+
+#: Trace events per telemetry window span during replay.
+REPLAY_WINDOW = 4096
 
 
 @dataclass
@@ -61,6 +66,12 @@ class Simulator:
         self.freq_hz = freq_hz
 
     def run(self, stream: TraceStream, program: Program) -> SimReport:
+        with obs.span(
+            "simulate", config=self.config.name, n_events=len(stream.events)
+        ):
+            return self._run_impl(stream, program)
+
+    def _run_impl(self, stream: TraceStream, program: Program) -> SimReport:
         config = self.config
 
         # Instruction side: analytic reuse-distance model over the code
@@ -93,63 +104,88 @@ class Simulator:
         load_mem = 0.0
         store_mem = 0.0
 
-        for event in stream.iter_events():
+        n_kernel = n_memory = n_branch = 0
+
+        def replay(event) -> None:
+            nonlocal load_mem, store_mem, n_kernel, n_memory, n_branch
             if isinstance(event, KernelEvent):
+                n_kernel += 1
                 icache.invoke(event.kernel, event.weight)
             elif isinstance(event, MemoryEvent):
                 if event.kind == "i":  # legacy traces; treat as L1i fetch
-                    continue
+                    return
+                n_memory += 1
+                before = [c.stats.misses for c in data_levels]
+                mem_before = d_hier.mem_accesses
+                d_hier.access(event.addrs, event.weight)
+                deltas = [
+                    c.stats.misses - b for c, b in zip(data_levels, before)
+                ]
+                mem_delta = d_hier.mem_accesses - mem_before
+                target = load_misses if event.kind == "r" else store_misses
+                for i, d in enumerate(deltas):
+                    target[i] += d
+                if event.kind == "r":
+                    load_mem += mem_delta
                 else:
-                    before = [c.stats.misses for c in data_levels]
-                    mem_before = d_hier.mem_accesses
-                    d_hier.access(event.addrs, event.weight)
-                    deltas = [
-                        c.stats.misses - b for c, b in zip(data_levels, before)
-                    ]
-                    mem_delta = d_hier.mem_accesses - mem_before
-                    target = load_misses if event.kind == "r" else store_misses
-                    for i, d in enumerate(deltas):
-                        target[i] += d
-                    if event.kind == "r":
-                        load_mem += mem_delta
-                    else:
-                        store_mem += mem_delta
+                    store_mem += mem_delta
             elif isinstance(event, BranchEvent):
+                n_branch += 1
                 predictor.record(event.site, event.outcomes, event.weight)
 
-        branch = predictor.evaluate(
-            total_branches=stream.total_branches,
-            branch_hints=program.layout.branch_hints,
-        )
-        frontend = compute_frontend_stalls(
-            stream=stream,
-            program=program,
-            config=config,
-            l1i_misses=icache.stats.l1i_misses,
-            l2i_misses=icache.stats.l2i_misses,
-            l3i_misses=icache.stats.l3i_misses,
-            itlb_misses=icache.stats.itlb_misses,
-        )
-        has_l4 = len(data_levels) == 4
-        misses = MissProfile(
-            load_l1=load_misses[0],
-            load_l2=load_misses[1],
-            load_l3=load_misses[2],
-            load_l4=load_misses[3] if has_l4 else 0.0,
-            load_mem=load_mem,
-            store_l1=store_misses[0],
-            store_l2=store_misses[1],
-            store_l3=store_misses[2],
-            store_l4=store_misses[3] if has_l4 else 0.0,
-            store_mem=store_mem,
-        )
-        core = run_core_model(
-            stream=stream,
-            config=config,
-            frontend=frontend,
-            branch=branch,
-            misses=misses,
-        )
+        if obs.enabled():
+            # Chunk the replay into fixed-size windows so long traces show
+            # up as a sequence of timed spans rather than one opaque block.
+            events = iter(stream.iter_events())
+            window_idx = 0
+            while True:
+                chunk = list(islice(events, REPLAY_WINDOW))
+                if not chunk:
+                    break
+                with obs.span(
+                    "simulate.window", index=window_idx, events=len(chunk)
+                ):
+                    for event in chunk:
+                        replay(event)
+                window_idx += 1
+        else:
+            for event in stream.iter_events():
+                replay(event)
+
+        with obs.span("simulate.core_model", config=config.name):
+            branch = predictor.evaluate(
+                total_branches=stream.total_branches,
+                branch_hints=program.layout.branch_hints,
+            )
+            frontend = compute_frontend_stalls(
+                stream=stream,
+                program=program,
+                config=config,
+                l1i_misses=icache.stats.l1i_misses,
+                l2i_misses=icache.stats.l2i_misses,
+                l3i_misses=icache.stats.l3i_misses,
+                itlb_misses=icache.stats.itlb_misses,
+            )
+            has_l4 = len(data_levels) == 4
+            misses = MissProfile(
+                load_l1=load_misses[0],
+                load_l2=load_misses[1],
+                load_l3=load_misses[2],
+                load_l4=load_misses[3] if has_l4 else 0.0,
+                load_mem=load_mem,
+                store_l1=store_misses[0],
+                store_l2=store_misses[1],
+                store_l3=store_misses[2],
+                store_l4=store_misses[3] if has_l4 else 0.0,
+                store_mem=store_mem,
+            )
+            core = run_core_model(
+                stream=stream,
+                config=config,
+                frontend=frontend,
+                branch=branch,
+                misses=misses,
+            )
 
         # Second-level front-end attribution (paper §IV-A1: FE-bound slots
         # are mostly MITE/DSB, i.e. decode supply, plus i-cache misses).
@@ -179,6 +215,30 @@ class Simulator:
             "rs": stalls.rs / kilo,
             "sb": stalls.sb / kilo,
         }
+
+        tel = obs.current()
+        if tel is not None:
+            m = tel.metrics
+            m.counter("sim.runs").inc()
+            m.counter("sim.events.kernel").inc(n_kernel)
+            m.counter("sim.events.memory").inc(n_memory)
+            m.counter("sim.events.branch").inc(n_branch)
+            m.counter("sim.instructions").inc(instructions)
+            m.counter("sim.cycles").inc(core.cycles)
+            m.counter("sim.branch.mispredicts").inc(branch.mispredicts)
+            m.counter("sim.dcache.l1_misses").inc(
+                load_misses[0] + store_misses[0]
+            )
+            m.counter("sim.dcache.l2_misses").inc(
+                load_misses[1] + store_misses[1]
+            )
+            m.counter("sim.dcache.l3_misses").inc(
+                load_misses[2] + store_misses[2]
+            )
+            m.counter("sim.dcache.mem_accesses").inc(load_mem + store_mem)
+            m.counter("sim.icache.l1i_misses").inc(icache.stats.l1i_misses)
+            m.counter("sim.icache.itlb_misses").inc(icache.stats.itlb_misses)
+
         return SimReport(
             config_name=config.name,
             cycles=core.cycles,

@@ -1,0 +1,167 @@
+"""Unit tests for repro.obs.export: JSONL, run.json, Chrome trace, diff."""
+
+import json
+
+import pytest
+
+from repro.obs import session as obs
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    build_run_artifact,
+    chrome_trace,
+    diff_runs,
+    export_session,
+    load_run,
+    read_events_jsonl,
+    render_run,
+    validate_run,
+    write_events_jsonl,
+)
+
+
+def _session_with_activity():
+    with obs.telemetry_session() as tel:
+        with obs.span("experiment", id="test"):
+            with obs.span("encode", crf=23):
+                obs.inc("encoder.encodes")
+                obs.observe("topdown.retiring", 40.0)
+                obs.observe("topdown.retiring", 60.0)
+                obs.set_gauge("depth", 3)
+    return tel
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tel = _session_with_activity()
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(tel.spans.finished, path)
+        rows = read_events_jsonl(path)
+        assert len(rows) == len(tel.spans.finished)
+        for row, rec in zip(rows, tel.spans.finished):
+            assert row["kind"] == "span"
+            assert row["name"] == rec.name
+            assert row["span_id"] == rec.span_id
+            assert row["parent_id"] == rec.parent_id
+            assert row["start_ns"] == rec.start_ns
+            assert row["end_ns"] == rec.end_ns
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        tel = _session_with_activity()
+        doc = chrome_trace(tel.spans.finished)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert len(doc["traceEvents"]) == 2
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] == "X"
+            assert ev["dur"] >= 0
+            assert {"name", "ts", "pid", "tid", "args"} <= set(ev)
+        # Sorted by start time: parent first.
+        assert doc["traceEvents"][0]["name"] == "experiment"
+
+    def test_json_serializable(self):
+        tel = _session_with_activity()
+        json.dumps(chrome_trace(tel.spans.finished))
+
+
+class TestRunArtifact:
+    def test_build_and_validate(self):
+        tel = _session_with_activity()
+        art = build_run_artifact(
+            tel, experiment="fig3", scale="quick", wall_seconds=1.25
+        )
+        assert art["schema_version"] == SCHEMA_VERSION
+        assert art["experiment"] == "fig3"
+        assert art["scale"] == "quick"
+        assert art["status"] == "ok"
+        assert art["wall_seconds"] == 1.25
+        assert art["metrics"]["encoder.encodes"] == 1
+        assert art["topdown"]["retiring"] == pytest.approx(50.0)
+        assert art["spans"]["encode"]["calls"] == 1
+        validate_run(art)
+
+    def test_validate_rejects_missing_field(self):
+        tel = _session_with_activity()
+        art = build_run_artifact(
+            tel, experiment="x", scale="quick", wall_seconds=0.0
+        )
+        del art["metrics"]
+        with pytest.raises(ValueError, match="metrics"):
+            validate_run(art)
+
+    def test_validate_rejects_unknown_field(self):
+        tel = _session_with_activity()
+        art = build_run_artifact(
+            tel, experiment="x", scale="quick", wall_seconds=0.0
+        )
+        art["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            validate_run(art)
+
+    def test_validate_rejects_wrong_type(self):
+        tel = _session_with_activity()
+        art = build_run_artifact(
+            tel, experiment="x", scale="quick", wall_seconds=0.0
+        )
+        art["wall_seconds"] = "fast"
+        with pytest.raises(ValueError, match="wall_seconds"):
+            validate_run(art)
+
+    def test_validate_rejects_future_schema(self):
+        tel = _session_with_activity()
+        art = build_run_artifact(
+            tel, experiment="x", scale="quick", wall_seconds=0.0
+        )
+        art["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_run(art)
+
+    def test_export_and_load_round_trip(self, tmp_path):
+        tel = _session_with_activity()
+        paths = export_session(
+            tel, tmp_path / "out", experiment="fig3", scale="quick",
+            wall_seconds=2.0,
+        )
+        assert set(paths) == {"run", "events", "trace"}
+        loaded = load_run(paths["run"])
+        assert loaded["experiment"] == "fig3"
+        assert loaded["metrics"]["encoder.encodes"] == 1
+        # trace.json must parse and carry the spans.
+        trace = json.loads(paths["trace"].read_text())
+        assert len(trace["traceEvents"]) == 2
+        assert len(read_events_jsonl(paths["events"])) == 2
+
+
+class TestRenderAndDiff:
+    def _artifact(self, retiring: float) -> dict:
+        with obs.telemetry_session() as tel:
+            with obs.span("experiment"):
+                obs.inc("encoder.encodes")
+                obs.observe("topdown.retiring", retiring)
+        return build_run_artifact(
+            tel, experiment="fig3", scale="quick", wall_seconds=1.0
+        )
+
+    def test_render_mentions_key_fields(self):
+        text = render_run(self._artifact(40.0))
+        assert "fig3" in text
+        assert "quick" in text
+        assert "encoder.encodes" in text
+        assert "retiring" in text
+
+    def test_diff_reports_delta_per_metric(self):
+        a = self._artifact(40.0)
+        b = self._artifact(44.0)
+        text = diff_runs(a, b)
+        assert "topdown.retiring.mean" in text
+        assert "+10.00%" in text  # 40 -> 44
+        assert "encoder.encodes" in text
+        assert "+0.00%" in text
+
+    def test_diff_handles_disjoint_metrics(self):
+        a = self._artifact(40.0)
+        b = self._artifact(40.0)
+        a["metrics"]["only.in.a"] = 1.0
+        text = diff_runs(a, b)
+        assert "only.in.a" in text
+        assert "(only one run)" in text

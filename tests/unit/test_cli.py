@@ -1,9 +1,12 @@
 """Unit tests for the top-level `repro` CLI plumbing."""
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import main
-from repro.experiments import EXPERIMENT_IDS
+from repro.experiments import EXPERIMENT_DESCRIPTIONS, EXPERIMENT_IDS
 
 
 class TestExperimentRegistry:
@@ -38,3 +41,150 @@ class TestArgumentHandling:
     def test_scale_flag_accepted(self, capsys):
         assert main(["tab2", "--scale", "medium"]) == 0
         assert "scale=medium" in capsys.readouterr().out
+
+
+class TestVersionAndList:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_list_enumerates_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENT_IDS:
+            assert exp_id in out
+            assert EXPERIMENT_DESCRIPTIONS[exp_id] in out
+
+
+class TestAllFailureHandling:
+    def test_all_reports_succeeded_before_failure(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        real_render = cli._render
+
+        def flaky(exp_id, scale):
+            if exp_id == "tab3":
+                raise RuntimeError("injected")
+            return real_render(exp_id, scale)
+
+        monkeypatch.setattr(cli, "_render", flaky)
+        assert main(["all"]) == 1
+        captured = capsys.readouterr()
+        assert "[tab3] FAILED: RuntimeError: injected" in captured.err
+        assert "completed before the failure: tab1, tab2" in captured.err
+        assert "--debug" in captured.err
+
+    def test_debug_reraises(self, monkeypatch):
+        import repro.cli as cli
+
+        def boom(exp_id, scale):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(cli, "_render", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            main(["all", "--debug"])
+
+    def test_single_experiment_failure_exits_nonzero(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(exp_id, scale):
+            raise ValueError("bad")
+
+        monkeypatch.setattr(cli, "_render", boom)
+        assert main(["tab4"]) == 1
+        err = capsys.readouterr().err
+        assert "[tab4] FAILED: ValueError: bad" in err
+        assert "completed before" not in err
+
+
+class TestTelemetry:
+    def test_tab1_telemetry_artifacts(self, tmp_path, capsys):
+        from repro.obs import load_run
+
+        out = tmp_path / "out"
+        assert main(["tab1", "--telemetry", str(out)]) == 0
+        art = load_run(out / "run.json")  # validates against RUN_SCHEMA
+        assert art["experiment"] == "tab1"
+        assert art["scale"] == "quick"
+        assert art["status"] == "ok"
+        assert art["spans"]["experiment"]["calls"] == 1
+        trace = json.loads((out / "trace.json").read_text())
+        assert any(e["name"] == "experiment" for e in trace["traceEvents"])
+        assert (out / "events.jsonl").exists()
+
+    def test_failed_run_still_writes_artifact(self, tmp_path, capsys,
+                                              monkeypatch):
+        import repro.cli as cli
+        from repro.obs import load_run
+
+        def boom(exp_id, scale):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(cli, "_render", boom)
+        out = tmp_path / "out"
+        assert main(["tab4", "--telemetry", str(out)]) == 1
+        art = load_run(out / "run.json")
+        assert art["status"] == "failed"
+
+    def test_all_uses_per_experiment_subdirs(self, tmp_path, capsys,
+                                             monkeypatch):
+        import repro.cli as cli
+
+        def tiny(exp_id, scale):
+            if exp_id not in ("tab1", "tab2"):
+                raise RuntimeError("skip the slow ones")
+            return "ok"
+
+        monkeypatch.setattr(cli, "_render", tiny)
+        out = tmp_path / "out"
+        main(["all", "--telemetry", str(out)])
+        assert (out / "tab1" / "run.json").exists()
+        assert (out / "tab2" / "run.json").exists()
+
+    def test_session_closed_after_run(self, tmp_path, capsys):
+        from repro.obs import session as obs
+
+        assert main(["tab4", "--telemetry", str(tmp_path / "o")]) == 0
+        assert not obs.enabled()
+
+
+class TestReport:
+    def _make_artifact(self, tmp_path, name):
+        out = tmp_path / name
+        assert main(["tab4", "--telemetry", str(out)]) == 0
+        return out / "run.json"
+
+    def test_report_renders(self, tmp_path, capsys):
+        path = self._make_artifact(tmp_path, "a")
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tab4" in out
+        assert "wall=" in out
+
+    def test_report_diff(self, tmp_path, capsys):
+        a = self._make_artifact(tmp_path, "a")
+        b = self._make_artifact(tmp_path, "b")
+        capsys.readouterr()
+        assert main(["report", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "diff:" in out
+        assert "wall_seconds" in out
+        assert "delta" in out
+
+    def test_report_diff_needs_two(self, tmp_path, capsys):
+        a = self._make_artifact(tmp_path, "a")
+        with pytest.raises(SystemExit):
+            main(["report", "--diff", str(a)])
+
+    def test_report_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 1
+        assert "repro report:" in capsys.readouterr().err
+
+    def test_report_rejects_invalid_artifact(self, tmp_path, capsys):
+        bad = tmp_path / "run.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        assert main(["report", str(bad)]) == 1
+        assert "missing required field" in capsys.readouterr().err

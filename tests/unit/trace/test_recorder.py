@@ -68,6 +68,47 @@ class TestAddressMap:
         amap.alloc("a", 4096)
         assert amap.bytes_allocated > before
 
+    def test_zero_byte_alloc_gets_one_page(self):
+        amap = AddressMap()
+        base = amap.alloc("empty", 0)
+        assert base % 4096 == 0
+        got_base, size = amap.region("empty")
+        assert got_base == base
+        assert size == 4096  # rounded up to a full page, never zero
+
+    def test_realloc_equal_size_returns_original_base(self):
+        amap = AddressMap()
+        a = amap.alloc("x", 4096)
+        assert amap.alloc("x", 4096) == a
+        # Boundary: exactly the recorded (page-rounded) size is accepted...
+        _, size = amap.region("x")
+        assert amap.alloc("x", size) == a
+        # ...one byte more is not.
+        with pytest.raises(ValueError, match="reallocated larger"):
+            amap.alloc("x", size + 1)
+
+    def test_guard_page_between_consecutive_regions(self):
+        amap = AddressMap()
+        a = amap.alloc("first", 4096)
+        b = amap.alloc("second", 4096)
+        _, a_size = amap.region("first")
+        # The second region starts one guard page past the first's end,
+        # so no in-bounds address of one region touches the other's page.
+        assert b == a + a_size + 4096
+
+    def test_guard_spacing_accumulates(self):
+        amap = AddressMap()
+        names = [f"r{i}" for i in range(4)]
+        for name in names:
+            amap.alloc(name, 100)
+        bases = [amap.region(n)[0] for n in names]
+        for prev, nxt in zip(bases, bases[1:]):
+            assert nxt - prev == 4096 + 4096  # one page data + one guard
+
+    def test_region_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            AddressMap().region("nope")
+
 
 class TestNullTracer:
     def test_noop(self):
