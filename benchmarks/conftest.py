@@ -7,7 +7,12 @@ see them). ``REPRO_BENCH_SCALE`` selects the proxy sizing: ``quick``
 paper's 816-combination grids — hours).
 
 The sweep-driven figures (3, 4, 5) share one memoized sweep per session,
-so their combined cost is one sweep plus rendering.
+so their combined cost is one sweep plus rendering. The whole harness
+routes through the sweep engine's cache-then-compute path: set
+``REPRO_JOBS=N`` to shard sweeps across N worker processes and
+``REPRO_CACHE_DIR=DIR`` to persist results on disk, which makes repeat
+benchmark runs (e.g. before/after an encoder change at ``full`` scale)
+near-free for unchanged code.
 """
 
 from __future__ import annotations
@@ -16,11 +21,25 @@ import os
 
 import pytest
 
+from repro.experiments import parallel
 from repro.experiments.runner import SCALES
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "paperfig: regenerates a paper figure/table")
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Report persistent-cache usage so warm/cold runs are explainable."""
+    cache = parallel.default_cache()
+    if cache is None:
+        return
+    stats = cache.stats()
+    terminalreporter.write_line(
+        f"repro sweep cache: {stats.entries} entries "
+        f"({stats.total_bytes / 1024.0:.1f} KiB) at {stats.root} "
+        f"[jobs={parallel.default_jobs()}]"
+    )
 
 
 @pytest.fixture(scope="session")

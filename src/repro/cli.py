@@ -4,11 +4,18 @@ Examples::
 
     repro tab1                        # Table I with measured entropies
     repro fig3 --scale quick
+    repro fig3 --jobs 4               # shard the sweep across 4 workers
+    repro fig3 --cache-dir .cache/    # persist results; repeats are free
     repro fig3 --telemetry out/       # also write out/run.json etc.
     repro all                         # every table and figure
     repro list                        # enumerate experiment ids
+    repro cache stats                 # inspect the persistent result cache
+    repro cache clear --cache-dir .cache/
     repro report out/run.json         # render a telemetry artifact
     repro report --diff a/run.json b/run.json
+
+``--jobs`` / ``--cache-dir`` fall back to the ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` environment variables when omitted.
 """
 
 from __future__ import annotations
@@ -110,6 +117,33 @@ def _run_one(exp_id: str, scale, telemetry_dir: Path | None) -> str:
     return output
 
 
+def _cache_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the persistent sweep result cache.",
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else "
+             "~/.cache/repro/sweeps)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.cache import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+    return 0
+
+
 def _list_main() -> int:
     width = max(len(i) for i in EXPERIMENT_IDS)
     for exp_id in EXPERIMENT_IDS:
@@ -162,13 +196,16 @@ def main(argv: list[str] | None = None) -> int:
         return _list_main()
     if argv[:1] == ["report"]:
         return _report_main(argv[1:])
+    if argv[:1] == ["cache"]:
+        return _cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
         epilog="Subcommands: `repro list` enumerates experiment ids; "
                "`repro report <run.json> [--diff]` renders/diffs "
-               "telemetry artifacts.",
+               "telemetry artifacts; `repro cache {stats,clear}` "
+               "inspects/clears the persistent result cache.",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"
@@ -192,6 +229,28 @@ def main(argv: list[str] | None = None) -> int:
              "artifacts into OUT_DIR (per-experiment subdirs under `all`)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard sweeps across N worker processes "
+             "(default: $REPRO_JOBS, else 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist sweep results under DIR so repeat runs are "
+             "near-free (default: $REPRO_CACHE_DIR, else no persistent "
+             "cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache even if "
+             "$REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="re-raise experiment failures with the full traceback",
@@ -199,6 +258,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
     out_root = Path(args.telemetry) if args.telemetry else None
+
+    from repro.experiments import parallel as engine
+
+    engine.configure(
+        jobs=args.jobs,
+        cache_dir=False if args.no_cache else args.cache_dir,
+    )
 
     ids = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     succeeded: list[str] = []

@@ -8,11 +8,19 @@ produces the same rows/series the paper reports. The
 paper's 816-combination grids.
 """
 
+from repro.experiments.cache import ResultCache, SweepRecord, default_cache_dir
+from repro.experiments.parallel import configure, default_cache, default_jobs
 from repro.experiments.runner import ExperimentScale, SweepRunner
 
 __all__ = [
     "ExperimentScale",
+    "ResultCache",
+    "SweepRecord",
     "SweepRunner",
+    "configure",
+    "default_cache",
+    "default_cache_dir",
+    "default_jobs",
     "EXPERIMENT_DESCRIPTIONS",
     "EXPERIMENT_IDS",
 ]

@@ -1,0 +1,278 @@
+"""Persistent on-disk result store for the sweep engine.
+
+The paper's §III-C characterization sweeps 816 crf x refs combinations
+per video — by far the most expensive code path in this reproduction.
+Every profiled point is deterministic given its inputs, so completed
+points are stored on disk keyed by a content hash of everything that can
+change the result: the repro version, the full
+:class:`~repro.codec.options.EncoderOptions`, the video spec (name and
+proxy geometry), the simulation knobs (sample rate, data-capacity
+scale), and the microarchitecture configuration. Repeat runs — across
+processes, not just within one — then cost a JSON read per point.
+
+Design points:
+
+- **Content-hashed keys.** :func:`content_key` canonicalizes the key
+  payload (sorted keys, compact JSON, dataclasses flattened by field
+  name) before hashing, so keys are independent of dict insertion order
+  and dataclass field declaration order, and change whenever any option
+  or configuration value changes.
+- **Atomic writes.** Entries are written to a temp file in the target
+  directory and ``os.replace``-d into place, so a crashed or concurrent
+  writer can never leave a half-written entry behind.
+- **Corruption tolerance.** A truncated, garbled, or schema-mismatched
+  entry is treated as a miss (the point is recomputed and rewritten),
+  never as an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.profiling.counters import CounterSet
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "SweepRecord",
+    "canonical_json",
+    "content_key",
+    "default_cache_dir",
+    "record_from_payload",
+    "record_to_payload",
+]
+
+#: Bump to invalidate every existing cache entry (key payloads embed it).
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One profiled point of a sweep."""
+
+    video: str
+    crf: int
+    refs: int
+    preset: str
+    counters: CounterSet
+
+    def as_row(self) -> dict[str, float | int | str]:
+        row: dict[str, float | int | str] = {
+            "video": self.video,
+            "crf": self.crf,
+            "refs": self.refs,
+            "preset": self.preset,
+        }
+        row.update(self.counters.as_dict())
+        return row
+
+
+# ----------------------------------------------------------------------
+# Canonical serialization and content-hashed keys.
+# ----------------------------------------------------------------------
+
+def _jsonable(obj: object) -> object:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
+
+
+def canonical_json(payload: object) -> str:
+    """Order-independent JSON: sorted keys, compact separators, and
+    dataclasses flattened field-by-name (so reordering a dataclass's
+    field declarations cannot change a key)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+
+
+def content_key(kind: str, **components: object) -> str:
+    """SHA-256 over the canonical JSON of ``components`` plus the repro
+    version and cache schema version."""
+    import repro
+
+    payload = {
+        "kind": kind,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "repro_version": repro.__version__,
+        "components": components,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# SweepRecord <-> JSON payloads.
+# ----------------------------------------------------------------------
+
+def record_to_payload(record: SweepRecord) -> dict[str, object]:
+    """JSON-serializable payload for one :class:`SweepRecord`."""
+    return {
+        "video": record.video,
+        "crf": record.crf,
+        "refs": record.refs,
+        "preset": record.preset,
+        "counters": record.counters.as_dict(),
+    }
+
+
+def record_from_payload(payload: dict[str, object]) -> SweepRecord:
+    """Rebuild a :class:`SweepRecord`; raises ``ValueError``/``KeyError``/
+    ``TypeError`` on any shape mismatch (callers treat that as a miss)."""
+    counters = payload["counters"]
+    if not isinstance(counters, dict):
+        raise ValueError("counters payload must be a mapping")
+    names = CounterSet.field_names()
+    if set(counters) != set(names):
+        raise ValueError(
+            "counter fields do not match the current CounterSet schema"
+        )
+    return SweepRecord(
+        video=str(payload["video"]),
+        crf=int(payload["crf"]),  # type: ignore[arg-type]
+        refs=int(payload["refs"]),  # type: ignore[arg-type]
+        preset=str(payload["preset"]),
+        counters=CounterSet(**{n: float(counters[n]) for n in names}),
+    )
+
+
+# ----------------------------------------------------------------------
+# The on-disk store.
+# ----------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro/sweeps``,
+    else ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    root: Path
+    entries: int
+    total_bytes: int
+
+    def render(self) -> str:
+        return (
+            f"cache root : {self.root}\n"
+            f"entries    : {self.entries}\n"
+            f"total size : {self.total_bytes / 1024.0:.1f} KiB"
+        )
+
+
+class ResultCache:
+    """One directory of content-addressed JSON entries.
+
+    Entries live at ``root/<key[:2]>/<key>.json`` wrapped in a small
+    envelope carrying the schema version. :meth:`get_value` /
+    :meth:`put_value` move arbitrary JSON payloads; :meth:`get_record` /
+    :meth:`put_record` add the :class:`SweepRecord` serde on top.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- raw JSON payloads ---------------------------------------------
+    def get_value(self, key: str) -> object | None:
+        """The stored payload, or ``None`` on any miss, truncation,
+        corruption, or schema mismatch."""
+        try:
+            text = self.path_for(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(text)
+        except ValueError:
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
+            or "payload" not in envelope
+        ):
+            return None
+        return envelope["payload"]
+
+    def put_value(self, key: str, payload: object, *, kind: str = "value") -> Path:
+        """Atomically write ``payload`` under ``key`` and return its path."""
+        import repro
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "repro_version": repro.__version__,
+            "kind": kind,
+            "key": key,
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- SweepRecord entries -------------------------------------------
+    def get_record(self, key: str) -> SweepRecord | None:
+        payload = self.get_value(key)
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return record_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_record(self, key: str, record: SweepRecord) -> Path:
+        return self.put_value(key, record_to_payload(record), kind="sweep")
+
+    # -- maintenance ----------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        paths = self._entry_paths()
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(root=self.root, entries=len(paths), total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for subdir in sorted(self.root.glob("*/")):
+            try:
+                subdir.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -18,8 +18,12 @@ import numpy as np
 from repro._util import format_table
 from repro.codec.encoder import Encoder
 from repro.codec.presets import preset_options
+from repro.experiments import parallel
+from repro.experiments.cache import content_key
 from repro.experiments.runner import ExperimentScale, QUICK
+from repro.obs import session as obs
 from repro.optim import build_autofdo, build_default, build_graphite, collect_profile
+from repro.optim.pipeline import Build
 from repro.profiling.perf import profile_transcode
 from repro.trace.recorder import RecordingTracer
 from repro.video.vbench import load_video
@@ -123,38 +127,102 @@ def _train_profile(scale: ExperimentScale):
     return collect_profile(streams)
 
 
+@dataclass(frozen=True)
+class _VideoTask:
+    """One video's measurement job, shippable to a worker process."""
+
+    scale: ExperimentScale
+    video: str
+    combos: tuple[tuple[int, int, str], ...]
+    fdo_build: Build
+    graphite_build: Build
+
+
+def _video_key(scale: ExperimentScale, video: str,
+               combos: tuple[tuple[int, int, str], ...]) -> str:
+    return content_key(
+        "fig8",
+        video={
+            "name": video,
+            "width": scale.width,
+            "height": scale.height,
+            "n_frames": scale.n_frames,
+        },
+        combos=[list(c) for c in combos],
+        train_videos=list(_TRAIN_VIDEOS),
+        train_n_frames=max(scale.n_frames // 2, 4),
+        sim={"data_capacity_scale": scale.data_capacity_scale},
+    )
+
+
+def _measure_video(task: _VideoTask) -> tuple[str, float, float]:
+    """Average AutoFDO/Graphite speedups for one video over the combos."""
+    scale = task.scale
+    video = load_video(
+        task.video, width=scale.width, height=scale.height,
+        n_frames=scale.n_frames,
+    )
+    fdo_speedups = []
+    g_speedups = []
+    for crf, refs, preset in task.combos:
+        opts = preset_options(preset, crf=crf, refs=refs)
+        base = profile_transcode(
+            video, opts, data_capacity_scale=scale.data_capacity_scale
+        )
+        fdo = profile_transcode(
+            video, opts, program=task.fdo_build.program,
+            data_capacity_scale=scale.data_capacity_scale,
+        )
+        gr = profile_transcode(
+            video, opts, program=task.graphite_build.program,
+            loop_opts=task.graphite_build.loop_opts,
+            data_capacity_scale=scale.data_capacity_scale,
+        )
+        fdo_speedups.append((base.report.cycles / fdo.report.cycles - 1) * 100)
+        g_speedups.append((base.report.cycles / gr.report.cycles - 1) * 100)
+    return task.video, float(np.mean(fdo_speedups)), float(np.mean(g_speedups))
+
+
 def run(scale: ExperimentScale = QUICK) -> Fig8Result:
-    fdo_build = build_autofdo(_train_profile(scale))
-    graphite_build = build_graphite()
     combos = PARAM_COMBOS[: max(scale.fig8_combos, 1)]
     videos = scale.fig8_videos if scale.fig8_videos else scale.videos
+    cache = parallel.default_cache()
 
     autofdo: dict[str, float] = {}
     graphite: dict[str, float] = {}
+    missing: list[str] = []
     for name in videos:
-        video = load_video(
-            name, width=scale.width, height=scale.height, n_frames=scale.n_frames
-        )
-        fdo_speedups = []
-        g_speedups = []
-        for crf, refs, preset in combos:
-            opts = preset_options(preset, crf=crf, refs=refs)
-            base = profile_transcode(
-                video, opts, data_capacity_scale=scale.data_capacity_scale
+        payload = cache.get_value(_video_key(scale, name, combos)) if cache else None
+        if isinstance(payload, dict) and {"autofdo", "graphite"} <= set(payload):
+            obs.inc("fig8.cache_hits")
+            autofdo[name] = float(payload["autofdo"])  # type: ignore[arg-type]
+            graphite[name] = float(payload["graphite"])  # type: ignore[arg-type]
+        else:
+            missing.append(name)
+
+    if missing:
+        # Training (and the Graphite recompile) only happen on a miss, so
+        # a cache-warm run does zero encodes.
+        fdo_build = build_autofdo(_train_profile(scale))
+        graphite_build = build_graphite()
+        tasks = [
+            _VideoTask(
+                scale=scale, video=name, combos=combos,
+                fdo_build=fdo_build, graphite_build=graphite_build,
             )
-            fdo = profile_transcode(
-                video, opts, program=fdo_build.program,
-                data_capacity_scale=scale.data_capacity_scale,
-            )
-            gr = profile_transcode(
-                video, opts, program=graphite_build.program,
-                loop_opts=graphite_build.loop_opts,
-                data_capacity_scale=scale.data_capacity_scale,
-            )
-            fdo_speedups.append((base.report.cycles / fdo.report.cycles - 1) * 100)
-            g_speedups.append((base.report.cycles / gr.report.cycles - 1) * 100)
-        autofdo[name] = float(np.mean(fdo_speedups))
-        graphite[name] = float(np.mean(g_speedups))
+            for name in missing
+        ]
+        for name, fdo_pct, g_pct in parallel.fan_out(
+            _measure_video, tasks, label="fig8"
+        ):
+            autofdo[name] = fdo_pct
+            graphite[name] = g_pct
+            if cache is not None:
+                cache.put_value(
+                    _video_key(scale, name, combos),
+                    {"autofdo": fdo_pct, "graphite": g_pct},
+                    kind="fig8",
+                )
     return Fig8Result(
         videos=tuple(videos),
         autofdo_speedup_pct=autofdo,

@@ -11,8 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro._util import format_table
+from repro.experiments import parallel
+from repro.experiments.cache import content_key
 from repro.experiments.runner import ExperimentScale, QUICK
+from repro.obs import session as obs
 from repro.scheduling.casestudy import CaseStudyResult, run_case_study
+from repro.uarch.configs import config_by_name
 
 __all__ = ["Fig9Result", "run"]
 
@@ -64,11 +68,50 @@ class Fig9Result:
         )
 
 
+def _job_key(job) -> str:
+    """Content hash for one task's simulation payload."""
+    return content_key(
+        "fig9",
+        task=job.task,
+        video={"width": job.width, "height": job.height,
+               "n_frames": job.n_frames},
+        sim={"data_capacity_scale": job.data_capacity_scale},
+        configs={
+            name: config_by_name(name)
+            for name in ("baseline",) + tuple(job.config_names)
+        },
+    )
+
+
+def _cached_mapper(fn, jobs):
+    """The sweep engine's cache-then-compute path for case-study tasks."""
+    cache = parallel.default_cache()
+    payloads: dict[int, dict[str, object]] = {}
+    missing = []
+    for i, job in enumerate(jobs):
+        hit = cache.get_value(_job_key(job)) if cache else None
+        if isinstance(hit, dict) and "task_id" in hit:
+            obs.inc("fig9.cache_hits")
+            payloads[i] = hit
+        else:
+            missing.append((i, job))
+    if missing:
+        computed = parallel.fan_out(
+            fn, [job for _i, job in missing], label="fig9"
+        )
+        for (i, job), payload in zip(missing, computed):
+            payloads[i] = payload
+            if cache is not None:
+                cache.put_value(_job_key(job), payload, kind="fig9")
+    return [payloads[i] for i in range(len(jobs))]
+
+
 def run(scale: ExperimentScale = QUICK) -> Fig9Result:
     case_study = run_case_study(
         width=scale.width,
         height=scale.height,
         n_frames=scale.n_frames,
         data_capacity_scale=scale.data_capacity_scale,
+        mapper=_cached_mapper,
     )
     return Fig9Result(case_study=case_study)

@@ -1,0 +1,159 @@
+"""Process-pool fan-out and process-wide engine configuration.
+
+The sweep grids are embarrassingly parallel — every (video, crf, refs,
+preset) point is an independent, deterministic computation — so the
+engine shards them across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Two invariants make the fan-out safe:
+
+- **Determinism.** Workers run *the same* compute function the serial
+  path runs, on the same payloads, and ``Executor.map`` preserves input
+  order — so a parallel sweep returns bit-identical records in the same
+  order as ``--jobs 1`` (asserted by
+  ``tests/integration/test_parallel_determinism.py``).
+- **Telemetry merge.** Each worker opens its own telemetry session,
+  ships its metrics registry state back alongside the result, and the
+  parent folds it in via :func:`repro.obs.session.merge_worker_metrics`;
+  counters and histograms in ``run.json`` therefore aggregate the whole
+  fan-out exactly as a serial run would.
+
+Process-wide defaults (worker count, cache directory) are set by
+:func:`configure` — the CLI's ``--jobs`` / ``--cache-dir`` flags land
+here — and fall back to the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+environment variables, which is how the benchmark harness opts in.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from pathlib import Path
+from typing import TypeVar
+
+from repro.experiments.cache import ResultCache
+from repro.obs import session as obs
+
+__all__ = [
+    "configure",
+    "default_cache",
+    "default_jobs",
+    "fan_out",
+    "serial_map",
+]
+
+_JOBS_ENV = "REPRO_JOBS"
+_CACHE_ENV = "REPRO_CACHE_DIR"
+
+_UNSET = object()
+
+#: Process-wide overrides; ``None`` means "fall back to the environment".
+_configured_jobs: int | None = None
+_configured_cache: ResultCache | None = None
+_cache_disabled: bool = False
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def configure(*, jobs: object = _UNSET, cache_dir: object = _UNSET) -> None:
+    """Set process-wide sweep-engine defaults.
+
+    ``jobs``: a worker count, or ``None`` to fall back to ``REPRO_JOBS``.
+    ``cache_dir``: a directory for the persistent result cache, ``False``
+    to disable caching entirely, or ``None`` to fall back to
+    ``REPRO_CACHE_DIR``. Arguments left unset keep their current value.
+    """
+    global _configured_jobs, _configured_cache, _cache_disabled
+    if jobs is not _UNSET:
+        if jobs is None:
+            _configured_jobs = None
+        else:
+            _configured_jobs = max(int(jobs), 1)  # type: ignore[arg-type]
+    if cache_dir is not _UNSET:
+        if cache_dir is False:
+            _configured_cache = None
+            _cache_disabled = True
+        elif cache_dir is None:
+            _configured_cache = None
+            _cache_disabled = False
+        else:
+            _configured_cache = ResultCache(Path(cache_dir))  # type: ignore[arg-type]
+            _cache_disabled = False
+
+
+def default_jobs() -> int:
+    """The configured worker count, else ``REPRO_JOBS``, else 1."""
+    if _configured_jobs is not None:
+        return _configured_jobs
+    env = os.environ.get(_JOBS_ENV, "").strip()
+    if env:
+        try:
+            return max(int(env), 1)
+        except ValueError:
+            pass
+    return 1
+
+
+def default_cache() -> ResultCache | None:
+    """The configured result cache, else one at ``REPRO_CACHE_DIR``,
+    else ``None`` (persistent caching off)."""
+    if _cache_disabled:
+        return None
+    if _configured_cache is not None:
+        return _configured_cache
+    env = os.environ.get(_CACHE_ENV, "").strip()
+    if env:
+        return ResultCache(Path(env))
+    return None
+
+
+def serial_map(compute: Callable[[_P], _R], payloads: Iterable[_P]) -> list[_R]:
+    """The serial fallback: plain in-process map, in order."""
+    return [compute(payload) for payload in payloads]
+
+
+def _run_isolated(
+    compute: Callable[[_P], _R], payload: _P
+) -> tuple[_R, dict[str, object]]:
+    """Worker-side wrapper: run ``compute`` under a fresh telemetry
+    session and return (result, exported metrics state)."""
+    obs.reset_for_subprocess()  # drop any session inherited across fork
+    with obs.telemetry_session() as tel:
+        result = compute(payload)
+    return result, tel.metrics.export_state()
+
+
+def fan_out(
+    compute: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    *,
+    jobs: int | None = None,
+    label: str = "sweep",
+) -> list[_R]:
+    """Run ``compute`` over ``payloads``, sharded across worker processes.
+
+    Results come back in payload order. With ``jobs`` (or the engine
+    default) at 1, or fewer than two payloads, this degrades to
+    :func:`serial_map` in the current process — same code path, no pool.
+    ``compute`` must be a module-level function and payloads/results must
+    be picklable.
+    """
+    payloads = list(payloads)
+    n_jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    if n_jobs <= 1 or len(payloads) <= 1:
+        return serial_map(compute, payloads)
+    workers = min(n_jobs, len(payloads))
+    obs.inc("parallel.fan_outs")
+    obs.inc("parallel.tasks", len(payloads))
+    results: list[_R] = []
+    with obs.span(
+        "parallel.fan_out", label=label, jobs=workers, tasks=len(payloads)
+    ):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for result, state in pool.map(
+                partial(_run_isolated, compute), payloads
+            ):
+                obs.merge_worker_metrics(state)
+                results.append(result)
+    return results

@@ -1,24 +1,49 @@
 """Sweep engine: parameter grids, proxy scaling, and result caching.
 
 The paper's §III-C sweeps are expensive (816 crf x refs combinations);
-this runner executes them at configurable proxy scale and memoizes
-completed runs in-process, so the figure/benchmark modules that share a
-sweep (Fig 3, 4, 5 all use the crf x refs grid) only pay for it once per
-session.
+this runner executes them at configurable proxy scale through a single
+cache-then-compute path with three layers:
+
+1. an in-process memo, so the figure/benchmark modules that share a
+   sweep (Fig 3, 4, 5 all use the crf x refs grid) only pay for it once
+   per session;
+2. an optional persistent :class:`~repro.experiments.cache.ResultCache`
+   keyed by a content hash of (repro version, options, video spec,
+   simulation knobs, µarch config), so repeat runs across processes are
+   near-free;
+3. a :func:`~repro.experiments.parallel.fan_out` of the remaining
+   misses across worker processes when the engine is configured with
+   more than one job.
+
+Every grid method funnels through :meth:`SweepRunner.run_points`, which
+is what makes serial and parallel execution provably identical: both
+paths run :func:`compute_point` on the same specs in the same order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.codec.options import EncoderOptions
 from repro.codec.presets import preset_options
+from repro.experiments import parallel
+from repro.experiments.cache import ResultCache, SweepRecord, content_key
 from repro.obs import session as obs
-from repro.profiling.counters import CounterSet
 from repro.profiling.perf import profile_transcode
+from repro.uarch.configs import baseline_config
 from repro.video.vbench import load_video
 
-__all__ = ["ExperimentScale", "SweepRecord", "SweepRunner", "QUICK", "MEDIUM", "FULL"]
+__all__ = [
+    "ExperimentScale",
+    "PointSpec",
+    "SweepRecord",
+    "SweepRunner",
+    "QUICK",
+    "MEDIUM",
+    "FULL",
+    "compute_point",
+    "shared_runner",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +83,18 @@ class ExperimentScale:
     fig8_videos: tuple[str, ...] = ()  # empty = all of `videos`
 
     def with_updates(self, **changes: object) -> "ExperimentScale":
+        """Return a copy with the given fields replaced.
+
+        Unknown field names raise ``ValueError`` up front (``replace``
+        alone only fails at construction time with a less helpful
+        ``TypeError``)."""
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentScale field(s): {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
         return replace(self, **changes)  # type: ignore[arg-type]
 
 
@@ -86,45 +123,177 @@ FULL = ExperimentScale(
 SCALES = {"quick": QUICK, "medium": MEDIUM, "full": FULL}
 
 
-@dataclass(frozen=True)
-class SweepRecord:
-    """One profiled point of a sweep."""
+# ----------------------------------------------------------------------
+# One sweep point: spec, compute function, per-process video cache.
+# ----------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class PointSpec:
+    """Everything that determines one profiled sweep point."""
+
+    scale: ExperimentScale
     video: str
     crf: int
     refs: int
     preset: str
-    counters: CounterSet
+    options: EncoderOptions
 
-    def as_row(self) -> dict[str, float | int | str]:
-        row: dict[str, float | int | str] = {
-            "video": self.video,
-            "crf": self.crf,
-            "refs": self.refs,
-            "preset": self.preset,
-        }
-        row.update(self.counters.as_dict())
-        return row
+    def memo_key(self) -> tuple:
+        return (self.video, self.crf, self.refs, self.preset, self.options)
 
+    def cache_key(self) -> str:
+        """Content hash over everything that can change the result."""
+        scale = self.scale
+        return content_key(
+            "sweep",
+            video={
+                "name": self.video,
+                "width": scale.width,
+                "height": scale.height,
+                "n_frames": scale.n_frames,
+            },
+            options=self.options,
+            sim={
+                "sample": scale.sample,
+                "data_capacity_scale": scale.data_capacity_scale,
+            },
+            config=baseline_config(),
+        )
+
+
+#: Per-process decoded-clip cache. Worker processes forked mid-sweep
+#: inherit the parent's entries copy-on-write for free.
+_VIDEO_CACHE: dict[tuple[str, int, int, int], object] = {}
+
+
+def _load_video_cached(scale: ExperimentScale, name: str):
+    key = (name, scale.width, scale.height, scale.n_frames)
+    if key not in _VIDEO_CACHE:
+        _VIDEO_CACHE[key] = load_video(
+            name, width=scale.width, height=scale.height, n_frames=scale.n_frames
+        )
+    return _VIDEO_CACHE[key]
+
+
+def compute_point(spec: PointSpec) -> SweepRecord:
+    """Profile one sweep point from scratch.
+
+    Module-level (not a method) so the parallel engine can ship it to
+    worker processes; serial and parallel execution share this exact
+    code path.
+    """
+    obs.inc("sweep.profiles")
+    with obs.span(
+        "sweep.point",
+        video=spec.video,
+        crf=spec.crf,
+        refs=spec.refs,
+        preset=spec.preset,
+    ):
+        result = profile_transcode(
+            _load_video_cached(spec.scale, spec.video),
+            spec.options,
+            sample=spec.scale.sample,
+            data_capacity_scale=spec.scale.data_capacity_scale,
+        )
+    return SweepRecord(
+        video=spec.video,
+        crf=spec.crf,
+        refs=spec.refs,
+        preset=spec.preset,
+        counters=result.counters,
+    )
+
+
+# ----------------------------------------------------------------------
+# The runner.
+# ----------------------------------------------------------------------
 
 class SweepRunner:
-    """Executes and memoizes profiled transcodes for one scale."""
+    """Executes profiled transcodes for one scale via the cache-then-
+    compute path (memo -> persistent cache -> serial/parallel compute).
 
-    def __init__(self, scale: ExperimentScale) -> None:
+    ``jobs``/``cache`` left at ``None`` track the process-wide engine
+    configuration (:func:`repro.experiments.parallel.configure`) at call
+    time; pass ``cache=False`` to disable the persistent layer for this
+    runner regardless of the engine default.
+    """
+
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        *,
+        jobs: int | None = None,
+        cache: ResultCache | bool | None = None,
+    ) -> None:
         self.scale = scale
-        self._video_cache: dict[str, object] = {}
+        self._jobs = jobs
+        self._cache = cache
         self._run_cache: dict[tuple, SweepRecord] = {}
 
+    @property
+    def jobs(self) -> int:
+        if self._jobs is None:
+            return parallel.default_jobs()
+        return max(self._jobs, 1)
+
+    def cache(self) -> ResultCache | None:
+        if self._cache is False:
+            return None
+        if self._cache is None:
+            return parallel.default_cache()
+        return self._cache  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
-    def _video(self, name: str):
-        if name not in self._video_cache:
-            self._video_cache[name] = load_video(
-                name,
-                width=self.scale.width,
-                height=self.scale.height,
-                n_frames=self.scale.n_frames,
-            )
-        return self._video_cache[name]
+    def _spec(
+        self,
+        video: str,
+        *,
+        crf: int,
+        refs: int,
+        preset: str = "medium",
+        options: EncoderOptions | None = None,
+    ) -> PointSpec:
+        opts = (
+            options
+            if options is not None
+            else preset_options(preset, crf=crf, refs=refs)
+        )
+        return PointSpec(
+            scale=self.scale,
+            video=video,
+            crf=crf,
+            refs=refs,
+            preset=preset,
+            options=opts,
+        )
+
+    def _lookup(self, spec: PointSpec) -> SweepRecord | None:
+        """Memo hit, else persistent-cache hit (promoted to the memo)."""
+        record = self._run_cache.get(spec.memo_key())
+        if record is not None:
+            obs.inc("sweep.cache_hits")
+            return record
+        disk = self.cache()
+        if disk is not None:
+            record = disk.get_record(spec.cache_key())
+            if record is not None and (
+                record.video == spec.video
+                and record.crf == spec.crf
+                and record.refs == spec.refs
+                and record.preset == spec.preset
+            ):
+                obs.inc("sweep.disk_hits")
+                self._run_cache[spec.memo_key()] = record
+                return record
+        return None
+
+    def _store(self, spec: PointSpec, record: SweepRecord) -> None:
+        self._run_cache[spec.memo_key()] = record
+        disk = self.cache()
+        if disk is not None:
+            disk.put_record(spec.cache_key(), record)
+            obs.inc("sweep.disk_writes")
 
     def profile(
         self,
@@ -135,64 +304,76 @@ class SweepRunner:
         preset: str = "medium",
         options: EncoderOptions | None = None,
     ) -> SweepRecord:
-        """Profile one (video, crf, refs, preset) point, memoized."""
-        key = (video, crf, refs, preset, options.describe() if options else None)
-        if key in self._run_cache:
-            obs.inc("sweep.cache_hits")
-            return self._run_cache[key]
-        obs.inc("sweep.profiles")
-        opts = (
-            options
-            if options is not None
-            else preset_options(preset, crf=crf, refs=refs)
-        )
-        with obs.span(
-            "sweep.point", video=video, crf=crf, refs=refs, preset=preset
-        ):
-            result = profile_transcode(
-                self._video(video),
-                opts,
-                sample=self.scale.sample,
-                data_capacity_scale=self.scale.data_capacity_scale,
+        """Profile one (video, crf, refs, preset) point, cached."""
+        return self.run_points(
+            [self._spec(video, crf=crf, refs=refs, preset=preset, options=options)]
+        )[0]
+
+    def run_points(self, specs: list[PointSpec]) -> list[SweepRecord]:
+        """Resolve every spec through cache-then-compute, in order.
+
+        Misses are computed serially in-process under ``--jobs 1``, and
+        sharded across worker processes otherwise (results merge back in
+        spec order, so both paths return identical lists).
+        """
+        resolved: dict[tuple, SweepRecord] = {}
+        misses: list[PointSpec] = []
+        for spec in specs:
+            key = spec.memo_key()
+            if key in resolved:
+                continue
+            record = self._lookup(spec)
+            if record is not None:
+                resolved[key] = record
+            else:
+                misses.append(spec)
+        if misses:
+            records = parallel.fan_out(
+                compute_point, misses, jobs=self.jobs, label="sweep"
             )
-        record = SweepRecord(
-            video=video, crf=crf, refs=refs, preset=preset, counters=result.counters
-        )
-        self._run_cache[key] = record
-        return record
+            for spec, record in zip(misses, records):
+                self._store(spec, record)
+                resolved[spec.memo_key()] = record
+        return [resolved[spec.memo_key()] for spec in specs]
 
     # ------------------------------------------------------------------
     def crf_refs_sweep(self, video: str | None = None) -> list[SweepRecord]:
         """The Fig 3/4/5 grid: every (crf, refs) combination."""
         name = video if video is not None else self.scale.sweep_video
-        return [
-            self.profile(name, crf=crf, refs=refs)
-            for crf in self.scale.crf_values
-            for refs in self.scale.refs_values
-        ]
+        return self.run_points(
+            [
+                self._spec(name, crf=crf, refs=refs)
+                for crf in self.scale.crf_values
+                for refs in self.scale.refs_values
+            ]
+        )
 
     def preset_sweep(self, video: str | None = None) -> list[SweepRecord]:
         """The Fig 6 series: all ten presets at crf=23, refs=3."""
         from repro.codec.presets import PRESET_NAMES
 
         name = video if video is not None else self.scale.sweep_video
-        return [
-            self.profile(
-                name,
-                crf=23,
-                refs=3,
-                preset=preset,
-                options=preset_options(preset, crf=23, refs=3),
-            )
-            for preset in PRESET_NAMES
-        ]
+        return self.run_points(
+            [
+                self._spec(
+                    name,
+                    crf=23,
+                    refs=3,
+                    preset=preset,
+                    options=preset_options(preset, crf=23, refs=3),
+                )
+                for preset in PRESET_NAMES
+            ]
+        )
 
     def video_sweep(self) -> list[SweepRecord]:
         """The Fig 7 series: every video, medium preset, crf=23 refs=3."""
-        return [
-            self.profile(name, crf=23, refs=3, preset="medium")
-            for name in self.scale.videos
-        ]
+        return self.run_points(
+            [
+                self._spec(name, crf=23, refs=3, preset="medium")
+                for name in self.scale.videos
+            ]
+        )
 
 
 _RUNNERS: dict[str, SweepRunner] = {}

@@ -24,7 +24,9 @@ from repro.obs.session import (
     current,
     enabled,
     inc,
+    merge_worker_metrics,
     observe,
+    reset_for_subprocess,
     set_gauge,
     span,
     telemetry_session,
@@ -75,9 +77,11 @@ __all__ = [
     "export_session",
     "inc",
     "load_run",
+    "merge_worker_metrics",
     "observe",
     "read_events_jsonl",
     "render_run",
+    "reset_for_subprocess",
     "set_gauge",
     "span",
     "telemetry_session",

@@ -163,6 +163,40 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def export_state(self) -> dict[str, object]:
+        """Full mergeable state (unlike :meth:`snapshot`, which only
+        summarizes): bucket counts plus exact count/sum/min/max."""
+        state: dict[str, object] = {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+        if self.count:
+            state["min"] = self.min
+            state["max"] = self.max
+        return state
+
+    def merge_state(self, state: dict[str, object]) -> None:
+        """Fold another histogram's exported state into this one."""
+        if tuple(state["bounds"]) != self.bounds:  # type: ignore[arg-type]
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket bounds"
+            )
+        if not state["count"]:
+            return
+        other_counts: list[float] = state["bucket_counts"]  # type: ignore[assignment]
+        if len(other_counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram {self.name!r}: bucket count length mismatch"
+            )
+        for i, n in enumerate(other_counts):
+            self.bucket_counts[i] += n
+        self.count += state["count"]  # type: ignore[operator]
+        self.total += state["sum"]  # type: ignore[operator]
+        self.min = min(self.min, float(state["min"]))  # type: ignore[arg-type]
+        self.max = max(self.max, float(state["max"]))  # type: ignore[arg-type]
+
 
 class MetricsRegistry:
     """Name → metric map with get-or-create accessors."""
@@ -206,3 +240,33 @@ class MetricsRegistry:
         dicts for histograms. Sorted by name for stable artifacts."""
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
+
+    # -- cross-process merge (the sweep engine's worker -> parent path) --
+    def export_state(self) -> dict[str, object]:
+        """Everything needed to fold this registry into another one:
+        counter/gauge scalars plus full histogram states."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, object]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.export_state()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_state(self, state: dict[str, object]) -> None:
+        """Fold an :meth:`export_state` payload (typically from a worker
+        process) into this registry: counters add, gauges last-write-win,
+        histograms merge bucket-by-bucket."""
+        for name, value in state.get("counters", {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():  # type: ignore[union-attr]
+            self.gauge(name).set(value)
+        for name, hist_state in state.get("histograms", {}).items():  # type: ignore[union-attr]
+            bounds = tuple(hist_state["bounds"])
+            self.histogram(name, bounds).merge_state(hist_state)

@@ -35,6 +35,8 @@ __all__ = [
     "inc",
     "observe",
     "set_gauge",
+    "merge_worker_metrics",
+    "reset_for_subprocess",
 ]
 
 
@@ -104,3 +106,31 @@ def set_gauge(name: str, value: float) -> None:
     tel = _current
     if tel is not None:
         tel.metrics.gauge(name).set(value)
+
+
+def merge_worker_metrics(state: dict[str, object] | None) -> None:
+    """Fold a worker process's exported metrics registry state into the
+    active session (no-op if disabled or ``state`` is empty).
+
+    The parallel sweep engine runs each worker under its own telemetry
+    session, ships ``MetricsRegistry.export_state()`` back with the
+    results, and the parent calls this so ``run.json`` aggregates the
+    whole fan-out exactly as a serial run would. Worker span trees are
+    intentionally dropped — only the parent's wall-clock structure is
+    meaningful in the artifact.
+    """
+    tel = _current
+    if tel is not None and state:
+        tel.metrics.merge_state(state)
+
+
+def reset_for_subprocess() -> None:
+    """Drop a session inherited across ``fork``.
+
+    Worker processes spawned while a session is active inherit the
+    parent's ``_current`` slot; they must clear it before opening their
+    own session (sessions do not nest, and the inherited object's state
+    would be silently discarded at worker exit anyway).
+    """
+    global _current
+    _current = None

@@ -8,10 +8,10 @@ characterization), never the per-variant runtimes.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.profiling.counters import CounterSet
-from repro.profiling.perf import profile_transcode
 from repro.scheduling.schedulers import (
     Assignment,
     BestScheduler,
@@ -24,7 +24,7 @@ from repro.trace.recorder import RecordingTracer
 from repro.uarch.configs import config_by_name
 from repro.uarch.simulator import simulate
 
-__all__ = ["CaseStudyResult", "run_case_study"]
+__all__ = ["CaseStudyResult", "run_case_study", "simulate_task"]
 
 _VARIANTS = ("fe_op", "be_op1", "be_op2", "bs_op")
 
@@ -59,6 +59,53 @@ class CaseStudyResult:
         return matches / len(smart)
 
 
+@dataclass(frozen=True)
+class TaskJob:
+    """One task's simulation job, shippable to a worker process."""
+
+    task: TranscodeTask
+    width: int
+    height: int
+    n_frames: int
+    data_capacity_scale: float
+    config_names: tuple[str, ...]
+
+
+def simulate_task(job: TaskJob) -> dict[str, object]:
+    """Trace one task's encode and replay it on every configuration.
+
+    Module-level with a JSON-friendly return shape so the experiment
+    layer can fan jobs out to worker processes and persist the payloads.
+    """
+    program = build_program()
+    task = job.task
+    video = task.load(width=job.width, height=job.height, n_frames=job.n_frames)
+    # One traced encode per task; the trace replays on every config.
+    tracer = RecordingTracer(program)
+    from repro.codec.encoder import Encoder
+
+    encode_result = Encoder(task.options(), tracer=tracer).encode(video)
+    base_cfg = config_by_name(
+        "baseline", data_capacity_scale=job.data_capacity_scale
+    )
+    base_report = simulate(tracer.stream, program, base_cfg)
+    counters = CounterSet.from_report(
+        base_report,
+        psnr_db=encode_result.psnr_db,
+        bitrate_kbps=encode_result.bitrate_kbps,
+    )
+    per_config: dict[str, float] = {}
+    for name in job.config_names:
+        cfg = config_by_name(name, data_capacity_scale=job.data_capacity_scale)
+        per_config[name] = simulate(tracer.stream, program, cfg).cycles
+    return {
+        "task_id": task.task_id,
+        "baseline_cycles": base_report.cycles,
+        "counters": counters.as_dict(),
+        "cycles": per_config,
+    }
+
+
 def run_case_study(
     tasks: tuple[TranscodeTask, ...] = TABLE_III_TASKS,
     *,
@@ -66,38 +113,40 @@ def run_case_study(
     height: int = 64,
     n_frames: int = 10,
     data_capacity_scale: float = 48.0,
+    mapper: Callable[..., Sequence[dict[str, object]]] | None = None,
 ) -> CaseStudyResult:
-    """Run the full Figure 9 experiment at the given proxy scale."""
-    program = build_program()
+    """Run the full Figure 9 experiment at the given proxy scale.
+
+    ``mapper(fn, jobs)`` controls how the per-task simulations execute;
+    the default is a serial in-process map, and the experiment layer
+    injects the parallel/cached sweep-engine mapper.
+    """
     config_names = list(_VARIANTS)
+    jobs = [
+        TaskJob(
+            task=task, width=width, height=height, n_frames=n_frames,
+            data_capacity_scale=data_capacity_scale,
+            config_names=tuple(config_names),
+        )
+        for task in tasks
+    ]
+    if mapper is None:
+        payloads = [simulate_task(job) for job in jobs]
+    else:
+        payloads = list(mapper(simulate_task, jobs))
 
     cycles: dict[int, dict[str, float]] = {}
     baseline_cycles: dict[int, float] = {}
     counters: dict[int, CounterSet] = {}
-
-    for task in tasks:
-        video = task.load(width=width, height=height, n_frames=n_frames)
-        options = task.options()
-        # One traced encode per task; the trace replays on every config.
-        tracer = RecordingTracer(program)
-        from repro.codec.encoder import Encoder
-
-        encode_result = Encoder(options, tracer=tracer).encode(video)
-        base_cfg = config_by_name(
-            "baseline", data_capacity_scale=data_capacity_scale
-        )
-        base_report = simulate(tracer.stream, program, base_cfg)
-        baseline_cycles[task.task_id] = base_report.cycles
-        counters[task.task_id] = CounterSet.from_report(
-            base_report,
-            psnr_db=encode_result.psnr_db,
-            bitrate_kbps=encode_result.bitrate_kbps,
-        )
-        cycles[task.task_id] = {}
-        for name in config_names:
-            cfg = config_by_name(name, data_capacity_scale=data_capacity_scale)
-            report = simulate(tracer.stream, program, cfg)
-            cycles[task.task_id][name] = report.cycles
+    names = CounterSet.field_names()
+    for payload in payloads:
+        task_id = int(payload["task_id"])  # type: ignore[arg-type]
+        baseline_cycles[task_id] = float(payload["baseline_cycles"])  # type: ignore[arg-type]
+        raw = payload["counters"]
+        counters[task_id] = CounterSet(**{n: float(raw[n]) for n in names})  # type: ignore[index]
+        cycles[task_id] = {
+            name: float(c) for name, c in payload["cycles"].items()  # type: ignore[union-attr]
+        }
 
     task_list = list(tasks)
     assignments = {

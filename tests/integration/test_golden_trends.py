@@ -1,0 +1,129 @@
+"""Golden-trend regression layer: the paper's directional claims, frozen.
+
+Each assertion pins one of the paper's headline directions at a small,
+fixed proxy scale, so a future encoder or simulator edit that silently
+*inverts* a trend fails loudly here even if every unit test still
+passes:
+
+- §IV-A1 (Fig 3): raising crf pushes work from speculation to the
+  memory subsystem — back-end bound rises, bad speculation falls, and
+  the front-end bound stays a small fraction throughout;
+- §IV-A (Fig 4B): transcode time grows with refs but with an elbow —
+  the marginal cost of extra reference frames shrinks;
+- §IV-B (Fig 6): the preset ladder orders transcode time, ultrafast
+  fastest through placebo slowest;
+- §IV-D (Fig 8): AutoFDO and Graphite recompiles both speed the
+  encoder up (paper: 4.66% / 4.42% average).
+
+The fixed scale (not QUICK) keeps this module self-contained: changing
+QUICK's knobs must not silently change what these goldens measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_compiler
+from repro.experiments.runner import ExperimentScale, SweepRunner
+
+#: Frozen golden scale — do not derive from QUICK (see module docstring).
+GOLDEN_SCALE = ExperimentScale(
+    name="golden",
+    width=64,
+    height=48,
+    n_frames=8,
+    crf_values=(5, 23, 45),
+    refs_values=(1, 2, 4, 8),
+    sweep_video="cricket",
+    videos=("desktop", "cricket"),
+    data_capacity_scale=24.0,
+    fig8_combos=1,
+    fig8_videos=("desktop", "cricket"),
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(GOLDEN_SCALE, cache=False)
+
+
+class TestCrfGoldenTrends:
+    @pytest.fixture(scope="class")
+    def by_crf(self, runner):
+        return {
+            crf: runner.profile("cricket", crf=crf, refs=2).counters
+            for crf in GOLDEN_SCALE.crf_values
+        }
+
+    def test_backend_bound_rises_monotonically_with_crf(self, by_crf):
+        series = [by_crf[crf].backend_bound for crf in (5, 23, 45)]
+        assert series[0] < series[1] < series[2]
+
+    def test_bad_speculation_collapses_at_high_crf(self, by_crf):
+        assert by_crf[45].bad_speculation < by_crf[23].bad_speculation
+        assert by_crf[45].bad_speculation < by_crf[5].bad_speculation
+
+    def test_frontend_bound_stays_small(self, by_crf):
+        """Paper: FE-bound slots 'represent only a small fraction'."""
+        for counters in by_crf.values():
+            assert counters.frontend_bound < 20.0
+
+    def test_bitrate_falls_with_crf(self, by_crf):
+        rates = [by_crf[crf].bitrate_kbps for crf in (5, 23, 45)]
+        assert rates[0] > rates[1] > rates[2]
+
+
+class TestRefsElbowGolden:
+    @pytest.fixture(scope="class")
+    def time_by_refs(self, runner):
+        return {
+            refs: runner.profile("cricket", crf=23, refs=refs).counters.time_seconds
+            for refs in GOLDEN_SCALE.refs_values
+        }
+
+    def test_time_grows_with_refs(self, time_by_refs):
+        assert time_by_refs[8] > time_by_refs[1]
+        assert time_by_refs[2] > time_by_refs[1]
+
+    def test_elbow_marginal_cost_shrinks(self, time_by_refs):
+        """Beyond the elbow, extra references stop paying — the 4->8 step
+        must cost less than the 1->2 step despite covering 4x the refs."""
+        early = time_by_refs[2] - time_by_refs[1]
+        late = time_by_refs[8] - time_by_refs[4]
+        assert late < early
+
+
+class TestPresetLadderGolden:
+    @pytest.fixture(scope="class")
+    def time_by_preset(self, runner):
+        return {
+            r.preset: r.counters.time_seconds for r in runner.preset_sweep()
+        }
+
+    def test_fast_end_ordering(self, time_by_preset):
+        t = time_by_preset
+        assert t["ultrafast"] < t["superfast"] < t["veryfast"] < t["faster"]
+
+    def test_slow_end_ordering(self, time_by_preset):
+        t = time_by_preset
+        assert t["medium"] < t["slower"] < t["veryslow"] < t["placebo"]
+
+    def test_extremes(self, time_by_preset):
+        t = time_by_preset
+        assert t["ultrafast"] < t["medium"] < t["placebo"]
+
+
+class TestCompilerSpeedupGolden:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return fig8_compiler.run(GOLDEN_SCALE)
+
+    def test_autofdo_speeds_up(self, fig8):
+        assert fig8.autofdo_average > 0.0
+
+    def test_graphite_speeds_up(self, fig8):
+        assert fig8.graphite_average > 0.0
+
+    def test_every_video_benefits_from_autofdo(self, fig8):
+        for video, pct in fig8.autofdo_speedup_pct.items():
+            assert pct > 0.0, f"AutoFDO slowed {video} down"

@@ -51,6 +51,17 @@ class TestScales:
         scale = QUICK.with_updates(n_frames=6)
         assert scale.n_frames == 6 and QUICK.n_frames != 6
 
+    def test_with_updates_rejects_unknown_fields(self):
+        with pytest.raises(ValueError) as exc:
+            QUICK.with_updates(n_frame=6)  # typo for n_frames
+        msg = str(exc.value)
+        assert "n_frame" in msg
+        assert "valid fields" in msg and "n_frames" in msg
+
+    def test_with_updates_reports_all_unknown_fields(self):
+        with pytest.raises(ValueError, match="bogus.*nope"):
+            QUICK.with_updates(nope=1, bogus=2)
+
 
 class TestSweepRunner:
     def test_profile_memoized(self, micro_scale):

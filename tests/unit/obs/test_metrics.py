@@ -101,6 +101,78 @@ class TestHistogram:
         assert all(x < y for x, y in zip(b, b[1:]))
 
 
+class TestExportMerge:
+    """The worker -> parent merge path used by the parallel sweep engine."""
+
+    def test_histogram_round_trip_preserves_exact_stats(self):
+        src = Histogram("h")
+        for v in (0.5, 1.5, 7.0):
+            src.observe(v)
+        dst = Histogram("h")
+        dst.merge_state(src.export_state())
+        assert dst.count == 3
+        assert dst.total == 9.0
+        assert dst.min == 0.5 and dst.max == 7.0
+        assert dst.bucket_counts == src.bucket_counts
+
+    def test_histogram_merge_accumulates(self):
+        a = Histogram("h", bounds=(1.0, 10.0))
+        b = Histogram("h", bounds=(1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(100.0)
+        a.merge_state(b.export_state())
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 100.0
+        assert a.bucket_counts == [1, 1, 1]
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        a = Histogram("h", bounds=(1.0, 2.0))
+        b = Histogram("h", bounds=(1.0, 3.0))
+        b.observe(1.5)
+        with pytest.raises(ValueError, match="mismatched bucket bounds"):
+            a.merge_state(b.export_state())
+
+    def test_empty_histogram_merge_is_a_noop(self):
+        a = Histogram("h")
+        a.observe(2.0)
+        a.merge_state(Histogram("h").export_state())
+        assert a.count == 1 and a.min == 2.0
+
+    def test_registry_merge_semantics(self):
+        """Counters add, gauges last-write-win, histograms accumulate."""
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc(2)
+        parent.gauge("depth").set(1.0)
+        parent.histogram("lat").observe(1.0)
+
+        worker = MetricsRegistry()
+        worker.counter("jobs").inc(3)
+        worker.counter("worker_only").inc(1)
+        worker.gauge("depth").set(9.0)
+        worker.histogram("lat").observe(3.0)
+
+        parent.merge_state(worker.export_state())
+        assert parent.counter("jobs").value == 5
+        assert parent.counter("worker_only").value == 1
+        assert parent.gauge("depth").value == 9.0
+        assert parent.histogram("lat").count == 2
+
+    def test_registry_export_state_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        state = reg.export_state()
+        assert set(state) == {"counters", "gauges", "histograms"}
+        restored = json.loads(json.dumps(state))
+        fresh = MetricsRegistry()
+        fresh.merge_state(restored)
+        assert fresh.counter("c").value == 1
+        assert fresh.histogram("h").count == 1
+
+
 class TestRegistry:
     def test_get_or_create_identity(self):
         reg = MetricsRegistry()

@@ -150,6 +150,76 @@ class TestTelemetry:
         assert not obs.enabled()
 
 
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries    : 0" in out
+        assert str(tmp_path) in out
+
+    def test_stats_defaults_to_env_cache_dir(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envd"))
+        assert main(["cache", "stats"]) == 0
+        assert "envd" in capsys.readouterr().out
+
+    def test_clear_removes_entries(self, tmp_path, capsys):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put_value("ab" * 32, {"x": 1}, kind="sweep")
+        cache.put_value("cd" * 32, {"y": 2}, kind="sweep")
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2 cache entries" in capsys.readouterr().out
+        assert cache.stats().entries == 0
+
+    def test_clear_is_idempotent(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_rejects_unknown_action(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune"])
+
+
+class TestEngineFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_engine(self):
+        """``main`` configures process-wide engine defaults; undo them."""
+        from repro.experiments import parallel
+
+        yield
+        parallel.configure(jobs=None, cache_dir=None)
+
+    def test_jobs_flag_configures_engine(self, capsys):
+        from repro.experiments import parallel
+
+        assert main(["tab4", "--jobs", "3"]) == 0
+        assert parallel.default_jobs() == 3
+
+    def test_jobs_env_fallback(self, capsys, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert main(["tab4"]) == 0
+        assert parallel.default_jobs() == 5
+
+    def test_cache_dir_flag_configures_engine(self, tmp_path, capsys):
+        from repro.experiments import parallel
+
+        assert main(["tab4", "--cache-dir", str(tmp_path / "c")]) == 0
+        cache = parallel.default_cache()
+        assert cache is not None
+        assert str(cache.root).endswith("c")
+
+    def test_no_cache_overrides_env(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envd"))
+        assert main(["tab4", "--no-cache"]) == 0
+        assert parallel.default_cache() is None
+
+
 class TestReport:
     def _make_artifact(self, tmp_path, name):
         out = tmp_path / name
