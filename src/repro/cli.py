@@ -7,6 +7,8 @@ Examples::
     repro fig3 --jobs 4               # shard the sweep across 4 workers
     repro fig3 --cache-dir .cache/    # persist results; repeats are free
     repro fig3 --telemetry out/       # also write out/run.json etc.
+    repro fig3 --resume               # restore completed cells and finish
+    repro fig3 --fault-plan 'worker.task,at=3,kill'   # chaos testing
     repro all                         # every table and figure
     repro list                        # enumerate experiment ids
     repro cache stats                 # inspect the persistent result cache
@@ -15,7 +17,14 @@ Examples::
     repro report --diff a/run.json b/run.json
 
 ``--jobs`` / ``--cache-dir`` fall back to the ``REPRO_JOBS`` /
-``REPRO_CACHE_DIR`` environment variables when omitted.
+``REPRO_CACHE_DIR`` environment variables when omitted; likewise
+``--fault-plan`` / ``--resume`` / ``--checkpoint-dir`` fall back to
+``REPRO_FAULT_PLAN`` / ``REPRO_RESUME`` / ``REPRO_CHECKPOINT_DIR``.
+
+A sweep whose cells exhaust their retry budget does not abort: every
+computable cell completes and is stored, the failures are summarized on
+stderr (and in ``run.json`` as ``status: "partial"`` with a ``failures``
+list under ``--telemetry``), and the process exits with code 3.
 """
 
 from __future__ import annotations
@@ -88,19 +97,30 @@ def _render(exp_id: str, scale) -> str:
 
 def _run_one(exp_id: str, scale, telemetry_dir: Path | None) -> str:
     """Run one experiment, optionally under a telemetry session that
-    exports ``run.json`` / ``events.jsonl`` / ``trace.json``."""
+    exports ``run.json`` / ``events.jsonl`` / ``trace.json``.
+
+    A :class:`~repro.experiments.runner.SweepFailure` propagates, but is
+    first recorded in the artifact as ``status: "partial"`` with the
+    failed cells listed under ``failures``.
+    """
     if telemetry_dir is None:
         return _render(exp_id, scale)
 
+    from repro.experiments.runner import SweepFailure
     from repro.obs import export_session, span, telemetry_session
 
     t0 = time.perf_counter()
     status = "ok"
+    failures: list[dict[str, object]] | None = None
     with telemetry_session() as tel:
         tel.meta["argv_experiment"] = exp_id
         try:
             with span("experiment", id=exp_id, scale=scale.name):
                 output = _render(exp_id, scale)
+        except SweepFailure as exc:
+            status = "partial"
+            failures = exc.failure_payloads()
+            raise
         except Exception:
             status = "failed"
             raise
@@ -112,6 +132,7 @@ def _run_one(exp_id: str, scale, telemetry_dir: Path | None) -> str:
                 scale=scale.name,
                 wall_seconds=time.perf_counter() - t0,
                 status=status,
+                failures=failures,
             )
             print(f"[{exp_id}] telemetry: {paths['run']}", file=sys.stderr)
     return output
@@ -251,6 +272,29 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_CACHE_DIR is set",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore cells completed by a previous interrupted run from "
+             "its checkpoint manifest and compute only the missing ones "
+             "(default: $REPRO_RESUME)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="where sweep checkpoint manifests live (default: "
+             "$REPRO_CHECKPOINT_DIR, else checkpoints/ inside the "
+             "persistent cache)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        default=None,
+        help="inject deterministic faults, e.g. "
+             "'sweep.compute,at=3,raise=InjectedFault;worker.task,at=5,kill' "
+             "(default: $REPRO_FAULT_PLAN)",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="re-raise experiment failures with the full traceback",
@@ -259,12 +303,22 @@ def main(argv: list[str] | None = None) -> int:
     scale = SCALES[args.scale]
     out_root = Path(args.telemetry) if args.telemetry else None
 
+    from repro import resilience
     from repro.experiments import parallel as engine
+    from repro.experiments.runner import SweepFailure
 
     engine.configure(
         jobs=args.jobs,
         cache_dir=False if args.no_cache else args.cache_dir,
     )
+    try:
+        resilience.configure(
+            fault_plan=args.fault_plan,
+            resume=True if args.resume else None,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    except ValueError as exc:
+        parser.error(f"--fault-plan: {exc}")
 
     ids = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     succeeded: list[str] = []
@@ -275,6 +329,26 @@ def main(argv: list[str] | None = None) -> int:
         t0 = time.perf_counter()
         try:
             output = _run_one(exp_id, scale, out_dir)
+        except SweepFailure as exc:
+            # Every computable cell completed and was stored before this
+            # raised; report the stragglers and exit partial (code 3).
+            print(f"[{exp_id}] PARTIAL: {exc}", file=sys.stderr)
+            for failure in exc.failures:
+                print(
+                    f"[{exp_id}]   failed cell {failure.video} "
+                    f"crf={failure.crf} refs={failure.refs} "
+                    f"preset={failure.preset}: {failure.error}: "
+                    f"{failure.message} (after {failure.attempts} attempts)",
+                    file=sys.stderr,
+                )
+            print(
+                f"[{exp_id}] completed cells are checkpointed; re-run with "
+                "--resume to retry only the failed ones",
+                file=sys.stderr,
+            )
+            if args.debug:
+                raise
+            return 3
         except Exception as exc:  # surface which experiment failed
             if args.debug:
                 raise

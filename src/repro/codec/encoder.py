@@ -42,6 +42,7 @@ from repro.codec.types import (
     MotionVector,
 )
 from repro.obs import session as obs
+from repro.resilience.faults import fault_point
 from repro.trace.recorder import AddressMap, NullTracer, Tracer
 from repro.video.frame import FrameSequence
 from repro.video.metrics import bitrate_kbps, psnr_sequence
@@ -144,6 +145,7 @@ class Encoder:
     # public entry
     # ------------------------------------------------------------------
     def encode(self, video: FrameSequence) -> EncodeResult:
+        fault_point("encoder.encode", detail=video.name)
         with obs.span(
             "encode",
             preset=self.options.preset_name,

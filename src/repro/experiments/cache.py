@@ -20,9 +20,19 @@ Design points:
 - **Atomic writes.** Entries are written to a temp file in the target
   directory and ``os.replace``-d into place, so a crashed or concurrent
   writer can never leave a half-written entry behind.
-- **Corruption tolerance.** A truncated, garbled, or schema-mismatched
-  entry is treated as a miss (the point is recomputed and rewritten),
-  never as an error.
+- **Corruption tolerance + quarantine.** A truncated or garbled entry
+  is treated as a miss (the point is recomputed and rewritten), never
+  as an error — and the damaged file is moved aside to
+  ``<name>.corrupt`` so it can be inspected and counted by
+  ``repro cache stats`` instead of being silently overwritten. Entries
+  written under a different schema version are plain misses (expected
+  drift, not damage).
+- **Retried I/O.** Reads and writes run under the engine's
+  :class:`~repro.resilience.retry.RetryPolicy`, so transient I/O errors
+  (including injected ``cache.read`` / ``cache.write`` faults) are
+  retried with backoff; a read that exhausts its budget degrades to a
+  miss, and a write that exhausts its budget raises ``OSError`` for the
+  caller to absorb.
 """
 
 from __future__ import annotations
@@ -35,7 +45,10 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro import resilience
+from repro.obs import session as obs
 from repro.profiling.counters import CounterSet
+from repro.resilience.faults import InjectedFault, fault_point
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -162,12 +175,14 @@ class CacheStats:
     root: Path
     entries: int
     total_bytes: int
+    corrupt: int = 0
 
     def render(self) -> str:
         return (
             f"cache root : {self.root}\n"
             f"entries    : {self.entries}\n"
-            f"total size : {self.total_bytes / 1024.0:.1f} KiB"
+            f"total size : {self.total_bytes / 1024.0:.1f} KiB\n"
+            f"corrupt    : {self.corrupt} quarantined"
         )
 
 
@@ -186,28 +201,62 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside to ``<name>.corrupt`` (replacing
+        any previous quarantine of the same key) so corruption is
+        visible in ``repro cache stats`` rather than silently erased."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        obs.inc("cache.quarantined")
+
     # -- raw JSON payloads ---------------------------------------------
     def get_value(self, key: str) -> object | None:
         """The stored payload, or ``None`` on any miss, truncation,
-        corruption, or schema mismatch."""
+        corruption, or schema mismatch.
+
+        The read is retried under the engine's retry policy; a corrupt
+        entry is quarantined to ``<name>.corrupt`` before reporting the
+        miss."""
+        path = self.path_for(key)
+
+        def _read() -> str | None:
+            fault_point("cache.read", detail=key)
+            try:
+                return path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                return None
+
         try:
-            text = self.path_for(key).read_text(encoding="utf-8")
-        except OSError:
+            text = resilience.call_with_retry(
+                _read,
+                policy=resilience.retry_policy(),
+                token=key,
+                label="cache.read",
+            )
+        except (OSError, TimeoutError, ConnectionError, InjectedFault):
+            obs.inc("cache.read_giveups")
+            return None
+        if text is None:
             return None
         try:
             envelope = json.loads(text)
         except ValueError:
+            self._quarantine(path)
             return None
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("cache_schema") != CACHE_SCHEMA_VERSION
-            or "payload" not in envelope
-        ):
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            self._quarantine(path)
             return None
+        if envelope.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            return None  # expected schema drift, not damage
         return envelope["payload"]
 
     def put_value(self, key: str, payload: object, *, kind: str = "value") -> Path:
-        """Atomically write ``payload`` under ``key`` and return its path."""
+        """Atomically write ``payload`` under ``key`` and return its path.
+
+        Retried under the engine's retry policy; raises ``OSError`` (or
+        the injected fault) once the budget is exhausted."""
         import repro
 
         path = self.path_for(key)
@@ -219,18 +268,28 @@ class ResultCache:
             "key": key,
             "payload": payload,
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp, path)
-        except BaseException:
+
+        def _write() -> Path:
+            fault_point("cache.write", detail=key)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(envelope, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return path
+
+        return resilience.call_with_retry(
+            _write,
+            policy=resilience.retry_policy(),
+            token=key,
+            label="cache.write",
+        )
 
     # -- SweepRecord entries -------------------------------------------
     def get_record(self, key: str) -> SweepRecord | None:
@@ -251,6 +310,11 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def _corrupt_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.corrupt"))
+
     def stats(self) -> CacheStats:
         paths = self._entry_paths()
         total = 0
@@ -259,10 +323,21 @@ class ResultCache:
                 total += path.stat().st_size
             except OSError:
                 pass
-        return CacheStats(root=self.root, entries=len(paths), total_bytes=total)
+        return CacheStats(
+            root=self.root,
+            entries=len(paths),
+            total_bytes=total,
+            corrupt=len(self._corrupt_paths()),
+        )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (quarantined files included); returns how
+        many live entries were removed."""
+        for path in self._corrupt_paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass
         removed = 0
         for path in self._entry_paths():
             try:

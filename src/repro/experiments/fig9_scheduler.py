@@ -15,6 +15,7 @@ from repro.experiments import parallel
 from repro.experiments.cache import content_key
 from repro.experiments.runner import ExperimentScale, QUICK
 from repro.obs import session as obs
+from repro.resilience.faults import InjectedFault
 from repro.scheduling.casestudy import CaseStudyResult, run_case_study
 from repro.uarch.configs import config_by_name
 
@@ -102,7 +103,12 @@ def _cached_mapper(fn, jobs):
         for (i, job), payload in zip(missing, computed):
             payloads[i] = payload
             if cache is not None:
-                cache.put_value(_job_key(job), payload, kind="fig9")
+                try:
+                    cache.put_value(_job_key(job), payload, kind="fig9")
+                except (OSError, TimeoutError, ConnectionError, InjectedFault):
+                    # A result we failed to persist is still a result;
+                    # degrade to in-memory rather than failing the figure.
+                    obs.inc("cache.write_giveups")
     return [payloads[i] for i in range(len(jobs))]
 
 

@@ -11,31 +11,55 @@ cache-then-compute path with three layers:
    keyed by a content hash of (repro version, options, video spec,
    simulation knobs, µarch config), so repeat runs across processes are
    near-free;
-3. a :func:`~repro.experiments.parallel.fan_out` of the remaining
-   misses across worker processes when the engine is configured with
-   more than one job.
+3. a fault-tolerant :func:`~repro.experiments.parallel.run_tasks`
+   fan-out of the remaining misses across worker processes when the
+   engine is configured with more than one job.
 
 Every grid method funnels through :meth:`SweepRunner.run_points`, which
 is what makes serial and parallel execution provably identical: both
 paths run :func:`compute_point` on the same specs in the same order.
+
+Fault tolerance (PR 3): per-cell work retries under the engine's
+:class:`~repro.resilience.retry.RetryPolicy`; successes are stored to
+the memo, the persistent cache, *and* a periodic
+:class:`~repro.resilience.checkpoint.SweepCheckpoint` manifest as they
+stream in, so an interrupted campaign — crashed worker pool, SIGKILLed
+parent, permanently-failing cell — keeps its completed cells. Cells
+that exhaust their retry budget are summarized in a
+:class:`SweepFailure` (the CLI reports them in ``run.json`` and exits
+nonzero) instead of aborting the sweep at the first error, and
+``--resume`` restores completed cells from the manifest so only the
+missing ones recompute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
 
+from repro import resilience
 from repro.codec.options import EncoderOptions
 from repro.codec.presets import preset_options
 from repro.experiments import parallel
-from repro.experiments.cache import ResultCache, SweepRecord, content_key
+from repro.experiments.cache import (
+    ResultCache,
+    SweepRecord,
+    content_key,
+    record_from_payload,
+    record_to_payload,
+)
 from repro.obs import session as obs
 from repro.profiling.perf import profile_transcode
+from repro.resilience.checkpoint import SweepCheckpoint, sweep_id
+from repro.resilience.faults import InjectedFault, fault_point
 from repro.uarch.configs import baseline_config
 from repro.video.vbench import load_video
 
 __all__ = [
+    "CellFailure",
     "ExperimentScale",
     "PointSpec",
+    "SweepFailure",
     "SweepRecord",
     "SweepRunner",
     "QUICK",
@@ -182,6 +206,10 @@ def compute_point(spec: PointSpec) -> SweepRecord:
     worker processes; serial and parallel execution share this exact
     code path.
     """
+    fault_point(
+        "sweep.compute",
+        detail=f"{spec.video}:crf={spec.crf}:refs={spec.refs}:preset={spec.preset}",
+    )
     obs.inc("sweep.profiles")
     with obs.span(
         "sweep.point",
@@ -203,6 +231,59 @@ def compute_point(spec: PointSpec) -> SweepRecord:
         preset=spec.preset,
         counters=result.counters,
     )
+
+
+# ----------------------------------------------------------------------
+# Partial-result reporting.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One sweep cell that exhausted its retry budget."""
+
+    video: str
+    crf: int
+    refs: int
+    preset: str
+    key: str          # the cell's cache key (what --resume retries)
+    error: str        # exception class name
+    message: str
+    attempts: int
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+
+class SweepFailure(RuntimeError):
+    """A sweep finished with some cells permanently failed.
+
+    Raised *after* every computable cell completed and was stored, so
+    a follow-up ``--resume`` run only re-executes the failed cells. The
+    CLI turns this into a partial-result ``run.json`` (``status:
+    "partial"`` plus a ``failures`` list) and a nonzero exit code.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        failures: list[CellFailure],
+        *,
+        completed: int,
+        resumed: int,
+        total: int,
+    ) -> None:
+        self.label = label
+        self.failures = failures
+        self.completed = completed
+        self.resumed = resumed
+        self.total = total
+        super().__init__(
+            f"sweep {label!r}: {len(failures)}/{total} cells failed "
+            f"({completed} completed, {resumed} restored from checkpoint)"
+        )
+
+    def failure_payloads(self) -> list[dict[str, object]]:
+        return [f.as_dict() for f in self.failures]
 
 
 # ----------------------------------------------------------------------
@@ -292,8 +373,15 @@ class SweepRunner:
         self._run_cache[spec.memo_key()] = record
         disk = self.cache()
         if disk is not None:
-            disk.put_record(spec.cache_key(), record)
-            obs.inc("sweep.disk_writes")
+            try:
+                disk.put_record(spec.cache_key(), record)
+            except (OSError, TimeoutError, ConnectionError, InjectedFault):
+                # A cell we failed to persist is still a computed cell;
+                # degrade to memo-only rather than failing the sweep.
+                obs.inc("cache.write_giveups")
+                obs.inc("sweep.disk_write_failures")
+            else:
+                obs.inc("sweep.disk_writes")
 
     def profile(
         self,
@@ -309,32 +397,158 @@ class SweepRunner:
             [self._spec(video, crf=crf, refs=refs, preset=preset, options=options)]
         )[0]
 
-    def run_points(self, specs: list[PointSpec]) -> list[SweepRecord]:
+    def _checkpoint_dir(self) -> Path | None:
+        """Where sweep manifests live: the configured/env directory,
+        else ``checkpoints/`` next to the persistent cache entries."""
+        configured = resilience.checkpoint_root()
+        if configured is not None:
+            return configured
+        disk = self.cache()
+        if disk is not None:
+            return disk.root / "checkpoints"
+        return None
+
+    def run_points(
+        self, specs: list[PointSpec], *, label: str = "sweep"
+    ) -> list[SweepRecord]:
         """Resolve every spec through cache-then-compute, in order.
 
         Misses are computed serially in-process under ``--jobs 1``, and
         sharded across worker processes otherwise (results merge back in
-        spec order, so both paths return identical lists).
+        spec order, so both paths return identical lists). Each miss is
+        retried under the engine's retry policy and stored (memo, disk
+        cache, checkpoint manifest) the moment it completes; with
+        resume enabled, cells recorded complete in a previous run's
+        manifest are restored instead of recomputed. Cells that exhaust
+        their retries raise :class:`SweepFailure` *after* every other
+        cell finished.
         """
         resolved: dict[tuple, SweepRecord] = {}
         misses: list[PointSpec] = []
+        unique: list[PointSpec] = []
+        seen: set[tuple] = set()
         for spec in specs:
             key = spec.memo_key()
-            if key in resolved:
+            if key in seen:
                 continue
+            seen.add(key)
+            unique.append(spec)
             record = self._lookup(spec)
             if record is not None:
                 resolved[key] = record
             else:
                 misses.append(spec)
         if misses:
-            records = parallel.fan_out(
-                compute_point, misses, jobs=self.jobs, label="sweep"
-            )
-            for spec, record in zip(misses, records):
-                self._store(spec, record)
-                resolved[spec.memo_key()] = record
+            self._run_misses(misses, unique, resolved, label=label)
         return [resolved[spec.memo_key()] for spec in specs]
+
+    def _run_misses(
+        self,
+        misses: list[PointSpec],
+        unique: list[PointSpec],
+        resolved: dict[tuple, SweepRecord],
+        *,
+        label: str,
+    ) -> None:
+        total = len(unique)
+        ckpt = self._open_checkpoint(unique, label)
+        resumed = 0
+        if ckpt is not None and resilience.resume_enabled() and ckpt.load():
+            remaining: list[PointSpec] = []
+            for spec in misses:
+                record = self._restore_cell(ckpt, spec)
+                if record is not None:
+                    resolved[spec.memo_key()] = record
+                    resumed += 1
+                else:
+                    remaining.append(spec)
+            misses = remaining
+            if resumed:
+                obs.inc("sweep.resumed_cells", resumed)
+
+        def _store_streaming(index: int, record: SweepRecord) -> None:
+            spec = misses[index]
+            self._store(spec, record)
+            if ckpt is not None:
+                ckpt.record_done(spec.cache_key(), record_to_payload(record))
+
+        outcomes = []
+        if misses:
+            outcomes = parallel.run_tasks(
+                compute_point,
+                misses,
+                jobs=self.jobs,
+                label=label,
+                on_result=_store_streaming,
+            )
+        failures: list[CellFailure] = []
+        for outcome in outcomes:
+            spec = misses[outcome.index]
+            if outcome.error is None:
+                resolved[spec.memo_key()] = outcome.result  # type: ignore[assignment]
+                continue
+            failure = CellFailure(
+                video=spec.video,
+                crf=spec.crf,
+                refs=spec.refs,
+                preset=spec.preset,
+                key=spec.cache_key(),
+                error=type(outcome.error).__name__,
+                message=str(outcome.error),
+                attempts=outcome.attempts,
+            )
+            failures.append(failure)
+            if ckpt is not None:
+                ckpt.record_failed(failure.key, failure.as_dict())
+        if failures:
+            obs.inc("sweep.failed_cells", len(failures))
+            if ckpt is not None:
+                ckpt.flush()
+            raise SweepFailure(
+                label,
+                failures,
+                completed=total - resumed - len(failures),
+                resumed=resumed,
+                total=total,
+            )
+        if ckpt is not None:
+            ckpt.discard()
+
+    def _open_checkpoint(
+        self, unique: list[PointSpec], label: str
+    ) -> SweepCheckpoint | None:
+        root = self._checkpoint_dir()
+        if root is None:
+            return None
+        # The sweep identity hashes every unique cell key (not just the
+        # misses): an interrupted run and its resume then agree on the
+        # manifest name no matter how many cells the cache already
+        # serves, and distinct sweeps stay disjoint because cell keys
+        # embed options, scale, and config.
+        keys = sorted(spec.cache_key() for spec in unique)
+        return SweepCheckpoint(
+            root, sweep_id(label, keys), label=label, total=len(keys)
+        )
+
+    def _restore_cell(
+        self, ckpt: SweepCheckpoint, spec: PointSpec
+    ) -> SweepRecord | None:
+        payload = ckpt.cells.get(spec.cache_key())
+        if not isinstance(payload, dict):
+            return None
+        try:
+            record = record_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if (
+            record.video != spec.video
+            or record.crf != spec.crf
+            or record.refs != spec.refs
+            or record.preset != spec.preset
+        ):
+            return None
+        self._run_cache[spec.memo_key()] = record
+        return record
 
     # ------------------------------------------------------------------
     def crf_refs_sweep(self, video: str | None = None) -> list[SweepRecord]:
@@ -345,7 +559,8 @@ class SweepRunner:
                 self._spec(name, crf=crf, refs=refs)
                 for crf in self.scale.crf_values
                 for refs in self.scale.refs_values
-            ]
+            ],
+            label="crf_refs",
         )
 
     def preset_sweep(self, video: str | None = None) -> list[SweepRecord]:
@@ -363,7 +578,8 @@ class SweepRunner:
                     options=preset_options(preset, crf=23, refs=3),
                 )
                 for preset in PRESET_NAMES
-            ]
+            ],
+            label="presets",
         )
 
     def video_sweep(self) -> list[SweepRecord]:
@@ -372,7 +588,8 @@ class SweepRunner:
             [
                 self._spec(name, crf=23, refs=3, preset="medium")
                 for name in self.scale.videos
-            ]
+            ],
+            label="videos",
         )
 
 

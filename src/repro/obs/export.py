@@ -50,7 +50,7 @@ RUN_SCHEMA: dict[str, tuple[bool, tuple[type, ...], str]] = {
     "schema_version": (True, (int,), "artifact schema version (currently 1)"),
     "experiment": (True, (str,), "experiment id, e.g. 'fig3'"),
     "scale": (True, (str,), "proxy scale name: quick | medium | full"),
-    "status": (True, (str,), "'ok' or 'failed'"),
+    "status": (True, (str,), "'ok', 'partial', or 'failed'"),
     "git_rev": (True, (str,), "short git revision ('unknown' outside a checkout)"),
     "created_unix": (True, (int, float), "artifact creation time (epoch seconds)"),
     "wall_seconds": (True, (int, float), "experiment wall-clock duration"),
@@ -60,6 +60,9 @@ RUN_SCHEMA: dict[str, tuple[bool, tuple[type, ...], str]] = {
                                "profiled transcodes (may be empty)"),
     "spans": (True, (dict,), "per-span-name {calls, total_s} totals"),
     "meta": (False, (dict,), "free-form session metadata"),
+    "failures": (False, (list,), "per-cell failure summaries of a partial "
+                                 "sweep (video, crf, refs, preset, error, "
+                                 "attempts)"),
 }
 
 
@@ -133,6 +136,7 @@ def build_run_artifact(
     scale: str,
     wall_seconds: float,
     status: str = "ok",
+    failures: list[dict[str, object]] | None = None,
 ) -> dict[str, object]:
     """Assemble the ``run.json`` document from a finished session."""
     metrics = telemetry.metrics.as_dict()
@@ -154,6 +158,8 @@ def build_run_artifact(
         "spans": telemetry.spans.totals(),
         "meta": {k: _jsonable(v) for k, v in telemetry.meta.items()},
     }
+    if failures is not None:
+        artifact["failures"] = list(failures)
     validate_run(artifact)
     return artifact
 
@@ -197,6 +203,7 @@ def export_session(
     scale: str,
     wall_seconds: float,
     status: str = "ok",
+    failures: list[dict[str, object]] | None = None,
 ) -> dict[str, Path]:
     """Write run.json + events.jsonl + trace.json into ``out_dir``."""
     out = Path(out_dir)
@@ -207,6 +214,7 @@ def export_session(
         scale=scale,
         wall_seconds=wall_seconds,
         status=status,
+        failures=failures,
     )
     paths = {
         "run": out / "run.json",
@@ -249,6 +257,16 @@ def render_run(artifact: dict[str, object]) -> str:
         f"schema=v{artifact['schema_version']}"
     )
     parts = [head]
+    failures = artifact.get("failures") or []
+    if failures:
+        rows = [
+            [f.get("video", "?"), f.get("crf", "?"), f.get("refs", "?"),
+             f.get("preset", "?"), f.get("error", "?"), f.get("attempts", "?")]
+            for f in failures
+        ]
+        parts.append("\nfailed cells:\n"
+                     + format_table(["video", "crf", "refs", "preset",
+                                     "error", "attempts"], rows))
     topdown = artifact.get("topdown") or {}
     if topdown:
         rows = [[k, v] for k, v in sorted(topdown.items())]

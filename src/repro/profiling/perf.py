@@ -16,6 +16,7 @@ from repro.codec.encoder import EncodeResult, Encoder, LoopOptimizations
 from repro.codec.options import EncoderOptions
 from repro.obs import session as obs
 from repro.profiling.counters import CounterSet
+from repro.resilience.faults import fault_point
 from repro.trace.kernels import build_program
 from repro.trace.program import Program
 from repro.trace.recorder import RecordingTracer
@@ -74,6 +75,7 @@ def profile_transcode(
         Overrides the config's data-side capacity scaling; defaults to
         :data:`DEFAULT_DATA_SCALE` when the config does not set one.
     """
+    fault_point("encoder.profile", detail=video.name)
     opts = options if options is not None else EncoderOptions()
     prog = program if program is not None else build_program()
     cfg = config if config is not None else baseline_config()

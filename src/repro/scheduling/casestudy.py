@@ -12,6 +12,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.profiling.counters import CounterSet
+from repro.resilience.faults import fault_point
 from repro.scheduling.schedulers import (
     Assignment,
     BestScheduler,
@@ -77,8 +78,9 @@ def simulate_task(job: TaskJob) -> dict[str, object]:
     Module-level with a JSON-friendly return shape so the experiment
     layer can fan jobs out to worker processes and persist the payloads.
     """
-    program = build_program()
     task = job.task
+    fault_point("casestudy.simulate", detail=str(task.task_id))
+    program = build_program()
     video = task.load(width=job.width, height=job.height, n_frames=job.n_frames)
     # One traced encode per task; the trace replays on every config.
     tracer = RecordingTracer(program)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 
 from repro.obs import session as obs
+from repro.resilience.faults import fault_point
 from repro.trace.events import BranchEvent, KernelEvent, MemoryEvent, TraceStream
 from repro.trace.program import Program
 from repro.uarch.branch import BranchModel, BranchStats
@@ -66,6 +67,7 @@ class Simulator:
         self.freq_hz = freq_hz
 
     def run(self, stream: TraceStream, program: Program) -> SimReport:
+        fault_point("sim.run", detail=self.config.name)
         with obs.span(
             "simulate", config=self.config.name, n_events=len(stream.events)
         ):

@@ -15,6 +15,7 @@ paper's Figure 7 are driven by the same axis.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro._util import check_positive
@@ -125,7 +126,13 @@ def scene_spec_for(
         scene_cut_period=cut_period,
         noise_level=0.03 + 0.25 * e,
         n_sprites=3 + int(round(7 * e)),
-        seed=hash(info.short_name) & 0xFFFF,
+        # A *stable* digest, not hash(): str hashing is randomized per
+        # process (PYTHONHASHSEED), which would make clips — and every
+        # downstream sweep record — differ between a run and its
+        # checkpoint/resume continuation in another process.
+        seed=int.from_bytes(
+            hashlib.sha256(info.short_name.encode("utf-8")).digest()[:2], "big"
+        ),
         name=info.short_name,
     )
 

@@ -1,11 +1,21 @@
-"""Failure injection: the decoder must fail cleanly on damaged streams.
+"""Failure injection: the decoder must fail cleanly on damaged streams,
+and the CLI must degrade a sweep with permanently-failing cells to a
+partial result instead of aborting.
 
 A production transcoder receives truncated uploads, bit-flipped network
 payloads, and hostile inputs. The decoder is allowed to reject them
 (``ValueError``/``EOFError``) or, for payload-area corruption, to decode
 *something* of the right geometry — it must never crash with an
 unexpected exception type, hang, or return malformed frames.
+
+On the pipeline side, a cell whose compute raises a fatal (or
+retry-exhausted) exception must not take the campaign down with it: the
+sweep completes every other cell, ``run.json`` reports ``status:
+"partial"`` with the failed cell's exception class, and the process
+exits with code 3 — after which ``--resume`` finishes the job.
 """
+
+import json
 
 import numpy as np
 import pytest
@@ -97,3 +107,95 @@ class TestGarbage:
         except _ALLOWED:
             return
         assert len(result.video) >= 1
+
+
+class TestCliPartialResults:
+    """A permanently-failing cell yields exit code 3, a complete set of
+    surviving cells, and a ``failures`` entry in ``run.json``."""
+
+    @pytest.fixture(autouse=True)
+    def _trimmed_quick_scale(self, monkeypatch):
+        """Shrink the `quick` scale to a 2x2 grid of tiny cells and undo
+        every piece of process-wide state the CLI configures."""
+        from repro import resilience
+        from repro.experiments import parallel, runner
+
+        trimmed = runner.QUICK.with_updates(
+            name="quick",
+            width=48,
+            height=32,
+            n_frames=4,
+            crf_values=(23, 40),
+            refs_values=(1, 2),
+        )
+        monkeypatch.setitem(runner.SCALES, "quick", trimmed)
+        resilience.configure(
+            retry=resilience.RetryPolicy(
+                max_attempts=2, base_delay=0.0, jitter=0.0
+            )
+        )
+        yield
+        runner._RUNNERS.clear()
+        parallel.configure(jobs=None, cache_dir=None)
+        resilience.reset()
+
+    def _clear_memo(self):
+        from repro.experiments import runner
+
+        runner._RUNNERS.clear()
+
+    def test_failing_cell_exits_nonzero_but_complete(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "telemetry"
+        code = main([
+            "fig3",
+            "--no-cache",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--telemetry", str(out),
+            "--fault-plan", "sweep.compute,match=crf=40:refs=2,raise=ValueError",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "PARTIAL" in err and "ValueError" in err and "--resume" in err
+
+        run = json.loads((out / "run.json").read_text())
+        assert run["status"] == "partial"
+        assert len(run["failures"]) == 1
+        failure = run["failures"][0]
+        assert failure["error"] == "ValueError"
+        assert (failure["crf"], failure["refs"]) == (40, 2)
+        assert failure["attempts"] == 1  # fatal: no retries burned
+        # Every computable cell ran exactly once before the failure report.
+        assert run["metrics"]["sweep.profiles"] == 3
+        assert run["metrics"]["sweep.failed_cells"] == 1
+
+    def test_resume_after_partial_finishes_the_sweep(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ckpt = tmp_path / "ckpt"
+        assert main([
+            "fig3",
+            "--no-cache",
+            "--checkpoint-dir", str(ckpt),
+            "--fault-plan", "sweep.compute,match=crf=40:refs=2,raise=ValueError",
+        ]) == 3
+        capsys.readouterr()
+
+        self._clear_memo()  # a fresh process would have no memo either
+        out = tmp_path / "resumed"
+        assert main([
+            "fig3",
+            "--no-cache",
+            "--checkpoint-dir", str(ckpt),
+            "--telemetry", str(out),
+            "--resume",
+        ]) == 0
+        run = json.loads((out / "run.json").read_text())
+        assert run["status"] == "ok"
+        assert "failures" not in run
+        # Encoder-call counting: only the failed cell recomputed.
+        assert run["metrics"]["sweep.resumed_cells"] == 3
+        assert run["metrics"]["sweep.profiles"] == 1
+        # Success removed the manifest.
+        assert not list(ckpt.glob("*.json"))
