@@ -1,0 +1,47 @@
+"""Repeatable micro/macro benchmark harness for the codec hot path.
+
+The harness times every backend-dispatched kernel (see
+:mod:`repro.codec.kernels`) under both the ``reference`` and
+``vectorized`` backends, plus an end-to-end encode of a small Figure-3
+slice, and emits a machine-readable ``BENCH_<rev>.json`` artifact.
+Timings are recorded through the :mod:`repro.obs` metrics registry so
+bench runs share the telemetry plumbing used everywhere else.
+
+Comparisons between artifacts are *ratio-based*: a regression is a drop
+in the vectorized-over-reference speedup, which is stable across machines
+of different absolute speed. ``repro bench --compare BASELINE.json``
+exits with code 4 when any tracked speedup fell by more than the
+threshold (25% by default) — the CI bench-smoke gate.
+"""
+
+from repro.bench.harness import (
+    E2E_CELLS,
+    KERNEL_BENCH_NAMES,
+    run_bench,
+    run_e2e_fig3,
+    run_kernel_benches,
+)
+from repro.bench.report import (
+    BENCH_SCHEMA,
+    bench_artifact_path,
+    compare_bench,
+    current_rev,
+    load_bench,
+    render_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "E2E_CELLS",
+    "KERNEL_BENCH_NAMES",
+    "bench_artifact_path",
+    "compare_bench",
+    "current_rev",
+    "load_bench",
+    "render_bench",
+    "run_bench",
+    "run_e2e_fig3",
+    "run_kernel_benches",
+    "write_bench",
+]

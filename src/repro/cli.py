@@ -15,6 +15,8 @@ Examples::
     repro cache clear --cache-dir .cache/
     repro report out/run.json         # render a telemetry artifact
     repro report --diff a/run.json b/run.json
+    repro bench                       # benchmark kernels + fig3 slice
+    repro bench --compare BENCH_baseline.json   # CI regression gate
 
 ``--jobs`` / ``--cache-dir`` fall back to the ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` environment variables when omitted; likewise
@@ -25,6 +27,11 @@ A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
 stderr (and in ``run.json`` as ``status: "partial"`` with a ``failures``
 list under ``--telemetry``), and the process exits with code 3.
+
+``repro bench`` times every backend-dispatched codec kernel under both
+``REPRO_KERNELS`` backends plus an end-to-end fig3 slice, writes a
+``BENCH_<rev>.json`` artifact, and with ``--compare`` exits with code 4
+when any speedup regressed more than the threshold versus the baseline.
 """
 
 from __future__ import annotations
@@ -165,6 +172,69 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _bench_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Benchmark the codec kernels (both REPRO_KERNELS "
+                    "backends) and an end-to-end fig3 slice.",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        default=None,
+        help="compare speedups against a baseline artifact; exit 4 on "
+             "any regression beyond the threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional speedup drop before a comparison counts "
+             "as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="artifact path (default: BENCH_<rev>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        metavar="N",
+        help="kernel repetitions per backend; best-of-N is reported",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller e2e slice, single repetitions (smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import compare_bench, load_bench, render_bench, run_bench, write_bench
+
+    payload = run_bench(reps=args.reps, quick=args.quick)
+    path = write_bench(payload, args.output)
+    print(render_bench(payload))
+    print(f"\nwrote {path}")
+
+    if args.compare is None:
+        return 0
+    try:
+        baseline = load_bench(args.compare)
+    except (OSError, ValueError) as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 1
+    report, regressions = compare_bench(
+        payload, baseline, threshold=args.threshold
+    )
+    print()
+    print(report)
+    return 4 if regressions else 0
+
+
 def _list_main() -> int:
     width = max(len(i) for i in EXPERIMENT_IDS)
     for exp_id in EXPERIMENT_IDS:
@@ -219,6 +289,8 @@ def main(argv: list[str] | None = None) -> int:
         return _report_main(argv[1:])
     if argv[:1] == ["cache"]:
         return _cache_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        return _bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -226,7 +298,9 @@ def main(argv: list[str] | None = None) -> int:
         epilog="Subcommands: `repro list` enumerates experiment ids; "
                "`repro report <run.json> [--diff]` renders/diffs "
                "telemetry artifacts; `repro cache {stats,clear}` "
-               "inspects/clears the persistent result cache.",
+               "inspects/clears the persistent result cache; "
+               "`repro bench [--compare BASELINE.json]` benchmarks the "
+               "codec kernels and the fig3 slice.",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"

@@ -6,6 +6,13 @@ for ultrafast, ``[1:0]`` enables it everywhere else). The filter is a
 simplified H.264 boundary filter: edge pixels are low-pass filtered only
 where the discontinuity is small enough to be a coding artifact rather
 than a real edge, with thresholds derived from QP.
+
+The edge loop is backend-dispatched (see :mod:`repro.codec.kernels`):
+each edge only reads/writes the two pixel lines on either side of its own
+boundary, and consecutive edges are 4 pixels apart, so every edge along
+an axis is independent — the ``vectorized`` backend filters them all with
+one fancy-indexed gather/scatter, elementwise identical to the reference
+per-edge loop.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_range
+from repro.codec import kernels
 
 __all__ = ["deblock_plane", "deblock_thresholds"]
 
@@ -31,8 +39,49 @@ def deblock_thresholds(qp: int, offset: int = 0) -> tuple[float, float]:
     return max(alpha, 0.0), max(beta, 0.0)
 
 
+def _filter_edges_vectorized(
+    plane: np.ndarray, axis: int, alpha: float, beta: float
+) -> None:
+    """All edges along one axis in one batched gather/filter/scatter."""
+    n = plane.shape[axis]
+    edges = np.arange(4, n, 4)
+    if edges.size == 0:
+        return
+    # The last edge can sit on the plane boundary; the reference loop
+    # substitutes q0 for the missing q1 there, which the clamped index
+    # reproduces exactly (plane[n-1] *is* q0 in that case).
+    q1_idx = np.minimum(edges + 1, n - 1)
+    if axis == 0:
+        p1, p0 = plane[edges - 2, :], plane[edges - 1, :]
+        q0, q1 = plane[edges, :], plane[q1_idx, :]
+    else:
+        p1, p0 = plane[:, edges - 2], plane[:, edges - 1]
+        q0, q1 = plane[:, edges], plane[:, q1_idx]
+    d_edge = np.abs(p0 - q0)
+    mask = (
+        (d_edge < alpha)
+        & (d_edge > 0)
+        & (np.abs(p1 - p0) < beta)
+        & (np.abs(q1 - q0) < beta)
+    )
+    if not np.any(mask):
+        return
+    delta = (q0 - p0) / 4.0
+    p0_new = np.where(mask, p0 + delta, p0)
+    q0_new = np.where(mask, q0 - delta, q0)
+    if axis == 0:
+        plane[edges - 1, :] = p0_new
+        plane[edges, :] = q0_new
+    else:
+        plane[:, edges - 1] = p0_new
+        plane[:, edges] = q0_new
+
+
 def _filter_edges(plane: np.ndarray, axis: int, alpha: float, beta: float) -> None:
     """Filter all 4-pixel-aligned edges along one axis, in place."""
+    if kernels.is_vectorized():
+        _filter_edges_vectorized(plane, axis, alpha, beta)
+        return
     n = plane.shape[axis]
     for edge in range(4, n, 4):
         if axis == 0:

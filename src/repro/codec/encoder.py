@@ -11,6 +11,13 @@ Every stage reports its invocation to the :class:`~repro.trace.recorder.Tracer`
 with the actual data addresses touched and the actual outcomes of its
 data-dependent branches, which is what makes the µarch characterization
 respond to crf/refs/preset/video exactly as the paper describes.
+
+The hot kernels the encoder calls (transform, motion, intra, deblock,
+entropy, chroma) are backend-dispatched via :mod:`repro.codec.kernels`
+(``REPRO_KERNELS=reference|vectorized``); the encoder itself additionally
+hoists per-macroblock float casts (one :func:`blockify_16x16` per MB
+instead of sixteen sub-block casts) under the vectorized backend. Both
+backends produce bit-identical bitstreams, reconstructions, and traces.
 """
 
 from __future__ import annotations
@@ -20,9 +27,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.codec import kernels
 from repro.codec.chroma import encode_chroma_plane
 from repro.codec.deblock import deblock_plane
-from repro.codec.entropy import BitWriter, encode_block, se_bits, ue_bits, write_se, write_ue
+from repro.codec.entropy import (
+    BitWriter,
+    encode_block,
+    encode_blocks,
+    se_bits,
+    ue_bits,
+    write_se,
+    write_ue,
+)
 from repro.codec.gop import GopPlan, plan_gop
 from repro.codec.intra import best_intra_16x16, predict_4x4_blocks
 from repro.codec.mbdecision import InterCandidate, choose_inter_ref, mv_bits, search_partitions
@@ -698,26 +714,45 @@ class Encoder:
         levels_all = np.zeros((16, 4, 4), dtype=np.int32)
         modes4: list[int] = []
         total_modes_tried = 0
+        # The block chain is inherently sequential (each block predicts
+        # from the reconstruction its predecessors just wrote), but the
+        # source casts are not: hoist them into one blockify per MB.
+        srcs = (
+            blockify_16x16(src_mb).astype(np.float64)
+            if kernels.is_vectorized()
+            else None
+        )
         for by in range(4):
             for bx in range(4):
                 y = y0 + by * 4
                 x = x0 + bx * 4
-                src4 = src_mb[by * 4 : by * 4 + 4, bx * 4 : bx * 4 + 4]
-                mode, pred = self._best_intra4_block(ctx.recon, src4, y, x)
+                if srcs is not None:
+                    src4f = srcs[by * 4 + bx]
+                else:
+                    src4f = src_mb[
+                        by * 4 : by * 4 + 4, bx * 4 : bx * 4 + 4
+                    ].astype(np.float64)
+                mode, pred = self._best_intra4_block(ctx.recon, src4f, y, x)
                 total_modes_tried += 3
                 modes4.append(int(mode))
                 write_ue(writer, int(mode))
-                residual = src4.astype(np.float64) - pred
+                residual = src4f - pred
                 coeffs = forward_4x4(residual[None])[0]
                 levels = trellis_quantize(
                     coeffs[None], qp_mb, level=self.options.trellis
                 )[0]
                 levels_all[by * 4 + bx] = levels
                 encode_block(writer, levels)
-                recon4 = np.clip(
-                    np.round(pred + inverse_4x4(dequantize(levels[None], qp_mb))[0]),
-                    0,
-                    255,
+                # minimum(maximum(...)) is np.clip without its dispatch
+                # overhead; identical for finite values.
+                recon4 = np.minimum(
+                    np.maximum(
+                        np.round(
+                            pred + inverse_4x4(dequantize(levels[None], qp_mb))[0]
+                        ),
+                        0.0,
+                    ),
+                    255.0,
                 ).astype(np.uint8)
                 ctx.recon[y : y + 4, x : x + 4] = recon4
         bits = writer.bit_count - bits_before
@@ -736,7 +771,16 @@ class Encoder:
     def _best_intra4_block(
         recon: np.ndarray, src4: np.ndarray, y: int, x: int
     ) -> tuple[int, np.ndarray]:
-        """DC(0) / V(1) / H(2) for one 4x4 block from reconstructed pixels."""
+        """DC(0) / V(1) / H(2) for one 4x4 block from reconstructed pixels.
+
+        ``src4`` may be uint8 or an already-cast float64 block; the cast
+        below is a no-op for the latter. The returned prediction is any
+        array broadcastable to (4, 4) — the vectorized backend returns
+        the 1-D mode generator (or a DC scalar) instead of materializing
+        the tile, which is arithmetically identical downstream.
+        """
+        if kernels.is_vectorized():
+            return Encoder._best_intra4_block_fast(recon, src4, y, x)
         top = recon[y - 1, x : x + 4].astype(np.float64) if y > 0 else None
         left = recon[y : y + 4, x - 1].astype(np.float64) if x > 0 else None
         if top is not None and left is not None:
@@ -752,13 +796,50 @@ class Encoder:
             candidates.append((1, np.tile(top, (4, 1))))
         if left is not None:
             candidates.append((2, np.tile(left[:, None], (1, 4))))
-        src = src4.astype(np.float64)
+        src = np.asarray(src4, dtype=np.float64)
         best_mode, best_pred, best_sad = 0, candidates[0][1], np.inf
         for mode, pred in candidates:
             sad = float(np.sum(np.abs(src - pred)))
             if sad < best_sad:
                 best_mode, best_pred, best_sad = mode, pred, sad
         return best_mode, best_pred
+
+    @staticmethod
+    def _best_intra4_block_fast(
+        recon: np.ndarray, src4f: np.ndarray, y: int, x: int
+    ):
+        """Vectorized-backend twin of :meth:`_best_intra4_block`.
+
+        Scores candidates with broadcast reductions (no np.tile/np.full
+        materialization — the ufunc outputs are elementwise identical) and
+        keeps the reference order and strict-< tie-break: DC, then V,
+        then H.
+        """
+        top = recon[y - 1, x : x + 4].astype(np.float64) if y > 0 else None
+        left = recon[y : y + 4, x - 1].astype(np.float64) if x > 0 else None
+        if top is not None and left is not None:
+            dc = (top.sum() + left.sum()) / 8.0
+        elif top is not None:
+            dc = top.mean()
+        elif left is not None:
+            dc = left.mean()
+        else:
+            dc = 128.0
+        best_mode = 0
+        best_sad = float(np.abs(src4f - dc).sum())
+        if top is not None:
+            sad = float(np.abs(src4f - top[None, :]).sum())
+            if sad < best_sad:
+                best_mode, best_sad = 1, sad
+        if left is not None:
+            sad = float(np.abs(src4f - left[:, None]).sum())
+            if sad < best_sad:
+                best_mode, best_sad = 2, sad
+        if best_mode == 1:
+            return 1, top[None, :]
+        if best_mode == 2:
+            return 2, left[:, None]
+        return 0, dc
 
     def _transform_and_code(
         self,
@@ -800,13 +881,13 @@ class Encoder:
                 write_se(writer, mv.dx - pred_mv.dx)
                 write_se(writer, mv.dy - pred_mv.dy)
         write_se(writer, qp_mb - ctx.base_qp)
-        for block in levels:
-            encode_block(writer, block)
+        encode_blocks(writer, levels)
         bits = writer.bit_count - bits_before
 
         recon_blocks = inverse_4x4(dequantize(levels, qp_mb))
-        recon_mb = np.clip(
-            np.round(prediction + unblockify_16x16(recon_blocks)), 0, 255
+        recon_mb = np.minimum(
+            np.maximum(np.round(prediction + unblockify_16x16(recon_blocks)), 0.0),
+            255.0,
         ).astype(np.uint8)
         ctx.recon[y : y + 16, x : x + 16] = recon_mb
         ctx.mv_grid[mb_y][mb_x] = mvs[0] if mvs else None

@@ -7,12 +7,20 @@ Coefficients use zigzag run-level coding with signed exp-Golomb codes — a
 genuine (H.263-era) scheme that preserves the property the paper's
 characterization depends on: the bit cost and the branchiness of coding
 scale with the number and magnitude of surviving coefficients.
+
+Bit emission is backend-dispatched (see :mod:`repro.codec.kernels`): the
+``reference`` backend pushes one bit at a time through
+:meth:`BitWriter.write_bit`, while the ``vectorized`` backend appends
+whole codes with big-integer shifts and byte-chunked extends — the buffer
+contents, partial-byte state, and ``bit_count`` stay identical by
+construction (MSB-first in both).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.codec import kernels
 from repro.codec.transform import ZIGZAG_4X4
 
 __all__ = [
@@ -25,6 +33,7 @@ __all__ = [
     "ue_bits",
     "se_bits",
     "encode_block",
+    "encode_blocks",
     "decode_block",
     "block_bits",
 ]
@@ -51,8 +60,30 @@ class BitWriter:
     def write_bits(self, value: int, width: int) -> None:
         if width < 0:
             raise ValueError("width must be >= 0")
+        if kernels.is_vectorized():
+            self.append_bits(value, width)
+            return
         for shift in range(width - 1, -1, -1):
             self.write_bit((value >> shift) & 1)
+
+    def append_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` MSB-first in one operation.
+
+        Equivalent to ``width`` :meth:`write_bit` calls: the byte buffer,
+        pending partial byte, and ``bit_count`` end up in the same state.
+        """
+        if width < 0:
+            raise ValueError("width must be >= 0")
+        if width == 0:
+            return
+        acc = (self._cur << width) | (value & ((1 << width) - 1))
+        nbits = self._nbits + width
+        self.bit_count += width
+        nbytes, rem = divmod(nbits, 8)
+        if nbytes:
+            self._bytes += (acc >> rem).to_bytes(nbytes, "big")
+        self._cur = acc & ((1 << rem) - 1)
+        self._nbits = rem
 
     def getvalue(self) -> bytes:
         """Byte-aligned contents (zero padded in the final byte)."""
@@ -93,11 +124,17 @@ def write_ue(writer: BitWriter, value: int) -> None:
         raise ValueError(f"ue() requires value >= 0, got {value}")
     code = value + 1
     width = code.bit_length()
+    if kernels.is_vectorized():
+        # Prefix zeros + code collapse into one (2*width-1)-bit append:
+        # the top width-1 bits of the widened code are exactly the zeros.
+        writer.append_bits(code, 2 * width - 1)
+        return
     writer.write_bits(0, width - 1)
     writer.write_bits(code, width)
 
 
 def read_ue(reader: BitReader) -> int:
+    """Decode one unsigned Exp-Golomb code (inverse of :func:`write_ue`)."""
     zeros = 0
     while reader.read_bit() == 0:
         zeros += 1
@@ -115,6 +152,7 @@ def write_se(writer: BitWriter, value: int) -> None:
 
 
 def read_se(reader: BitReader) -> int:
+    """Decode one signed Exp-Golomb code (inverse of :func:`write_se`)."""
     code = read_ue(reader)
     magnitude = (code + 1) // 2
     return magnitude if code % 2 == 1 else -magnitude
@@ -153,6 +191,28 @@ def encode_block(writer: BitWriter, block: np.ndarray) -> int:
     start = writer.bit_count
     scan = _zigzag(np.asarray(block, dtype=np.int64))
     nz_positions = np.nonzero(scan)[0]
+    if kernels.is_vectorized():
+        # Accumulate the whole block's codes into one big-int append.
+        # Each ue code is its widened codeword (prefix zeros included), so
+        # concatenating codewords equals the bit-at-a-time emission.
+        code = len(nz_positions) + 1
+        acc = code
+        nbits = 2 * code.bit_length() - 1
+        prev = -1
+        for pos in nz_positions:
+            p = int(pos)
+            code = p - prev  # zero run + 1
+            w = 2 * code.bit_length() - 1
+            acc = (acc << w) | code
+            nbits += w
+            level = int(scan[p])
+            code = (2 * level) if level > 0 else (1 - 2 * level)
+            w = 2 * code.bit_length() - 1
+            acc = (acc << w) | code
+            nbits += w
+            prev = p
+        writer.append_bits(acc, nbits)
+        return writer.bit_count - start
     write_ue(writer, len(nz_positions))
     prev = -1
     for pos in nz_positions:
@@ -160,6 +220,45 @@ def encode_block(writer: BitWriter, block: np.ndarray) -> int:
         write_se(writer, int(scan[pos]))
         prev = int(pos)
     return writer.bit_count - start
+
+
+def encode_blocks(writer: BitWriter, blocks: np.ndarray) -> list[int]:
+    """Run-level encode a batch of 4x4 blocks; returns per-block bits.
+
+    Emits exactly the same bitstream as calling :func:`encode_block` on
+    each block in order; the vectorized backend hoists the zigzag gather
+    over the whole ``(n, 4, 4)`` batch and merges each block's codes into
+    one bulk append.
+    """
+    arr = np.asarray(blocks, dtype=np.int64)
+    if arr.ndim != 3 or arr.shape[-2:] != (4, 4):
+        raise ValueError(f"expected (n, 4, 4) blocks, got {arr.shape}")
+    if not kernels.is_vectorized():
+        return [encode_block(writer, b) for b in arr]
+    scans = arr[:, ZIGZAG_4X4[0], ZIGZAG_4X4[1]]  # (n, 16)
+    out: list[int] = []
+    for scan in scans:
+        start = writer.bit_count
+        nz_positions = np.nonzero(scan)[0]
+        code = len(nz_positions) + 1
+        acc = code
+        nbits = 2 * code.bit_length() - 1
+        prev = -1
+        for pos in nz_positions:
+            p = int(pos)
+            code = p - prev
+            w = 2 * code.bit_length() - 1
+            acc = (acc << w) | code
+            nbits += w
+            level = int(scan[p])
+            code = (2 * level) if level > 0 else (1 - 2 * level)
+            w = 2 * code.bit_length() - 1
+            acc = (acc << w) | code
+            nbits += w
+            prev = p
+        writer.append_bits(acc, nbits)
+        out.append(writer.bit_count - start)
+    return out
 
 
 def decode_block(reader: BitReader) -> np.ndarray:

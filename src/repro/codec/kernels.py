@@ -1,0 +1,95 @@
+"""Kernel backend switch: ``REPRO_KERNELS=reference|vectorized``.
+
+The codec's hot loops (SATD/DCT/quant in :mod:`repro.codec.transform`,
+candidate scoring in :mod:`repro.codec.motion`, 4x4 intra prediction in
+:mod:`repro.codec.intra`, edge filtering in :mod:`repro.codec.deblock`,
+run-level coding in :mod:`repro.codec.entropy`) each exist in two
+implementations:
+
+- ``reference`` — the original per-block / per-candidate Python loops,
+  kept verbatim as the readable specification of each kernel;
+- ``vectorized`` — batched NumPy rewrites (whole-frame blockify, fixed
+  contraction paths instead of per-call ``einsum`` path searches, bulk
+  bit appends) that produce **bit-identical** outputs.
+
+Bit-identity is a hard contract, enforced by
+``tests/property/test_kernel_equivalence.py``: both backends yield the
+same bitstream, reconstruction, search-point counts, and visited
+positions, so sweep cache entries, golden trends, and the µarch traces
+are backend-independent.
+
+The active backend resolves, in order, from:
+
+1. the innermost :func:`use_backend` context (tests, the bench harness),
+2. an explicit :func:`set_backend` call,
+3. the ``REPRO_KERNELS`` environment variable,
+4. the default, ``vectorized``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "DEFAULT_BACKEND",
+    "active_backend",
+    "is_vectorized",
+    "set_backend",
+    "use_backend",
+]
+
+KERNEL_BACKENDS = ("reference", "vectorized")
+DEFAULT_BACKEND = "vectorized"
+
+_ENV_VAR = "REPRO_KERNELS"
+
+#: Explicitly selected backend (``set_backend``); ``None`` defers to the
+#: environment / default.
+_forced: str | None = None
+#: Stack of ``use_backend`` overrides; the innermost wins.
+_override_stack: list[str] = []
+
+
+def _validate(name: str) -> str:
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"expected one of {', '.join(KERNEL_BACKENDS)}"
+        )
+    return name
+
+
+def active_backend() -> str:
+    """The backend every dispatched kernel uses right now."""
+    if _override_stack:
+        return _override_stack[-1]
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return _validate(env.strip().lower())
+    return DEFAULT_BACKEND
+
+
+def is_vectorized() -> bool:
+    """Fast predicate for the hot-path dispatch sites."""
+    return active_backend() == "vectorized"
+
+
+def set_backend(name: str | None) -> None:
+    """Select a backend process-wide (``None`` reverts to env/default)."""
+    global _forced
+    _forced = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Scoped backend override (nestable; the innermost context wins)."""
+    _override_stack.append(_validate(name))
+    try:
+        yield name
+    finally:
+        _override_stack.pop()

@@ -8,6 +8,16 @@ positions it evaluated and which positions it visited; the encoder turns
 those into memory-access events for the µarch simulator, which is how
 "refs expands the encoding search space" (paper §III-A) becomes visible
 as data-cache pressure.
+
+The candidate-scoring loops are backend-dispatched (see
+:mod:`repro.codec.kernels`): the ``vectorized`` backend gathers each
+round's candidate blocks into one ``(k, 16, 16)`` batch and scores them
+with a single integer reduction, then replays the running-best update in
+order, so the chosen vector, cost, point count, visit order, and
+improvement flags are identical to the reference loop. Greedy stages
+whose candidate *positions* depend on mid-loop best updates (the umh
+hexagon rings, subpel refinement) stay sequential in both backends —
+only their per-candidate cost evaluation gets the fast path.
 """
 
 from __future__ import annotations
@@ -15,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+from numpy.lib.stride_tricks import as_strided, sliding_window_view
 
-from repro.codec.transform import hadamard_sad
+from repro.codec import kernels
+from repro.codec.transform import hadamard_sad, hadamard_sad_batch, satd_16x16
 
 __all__ = [
     "PaddedReference",
@@ -53,8 +64,64 @@ class PaddedReference:
         xx = x + self.pad
         return self.plane[yy : yy + size, xx : xx + size]
 
+    def _float_plane(self) -> np.ndarray:
+        """Lazily cached float64 copy of the padded plane (read-only use).
+
+        Interpolation reads the same pixel values whether each fetch casts
+        its own slice or slices one shared cast; caching the cast once per
+        reference removes a per-fetch copy from the subpel hot path.
+        """
+        planef = self.__dict__.get("_planef")
+        if planef is None:
+            planef = self.plane.astype(np.float64)
+            object.__setattr__(self, "_planef", planef)
+        return planef
+
+    def _phase_plane(self, fy_i: int, fx_i: int) -> np.ndarray:
+        """Whole-plane bilinear interpolation for one quarter-pel phase.
+
+        The fractional phase is position-independent, so interpolating the
+        full plane once (horizontal lerp, then vertical — the same per-pixel
+        expression tree as the per-block fetch) turns every later fetch of
+        that phase into a plain slice. Like x264's precomputed half-pel
+        planes; results are bit-identical because each output pixel runs the
+        identical multiply/add sequence on identical values.
+        """
+        cache = self.__dict__.get("_phase_planes")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_phase_planes", cache)
+        key = (fy_i, fx_i)
+        plane = cache.get(key)
+        if plane is None:
+            plane = self._float_plane()
+            if fx_i:
+                fx = fx_i * 0.25
+                plane = plane[:, :-1] * (1 - fx) + plane[:, 1:] * fx
+            if fy_i:
+                fy = fy_i * 0.25
+                plane = plane[:-1] * (1 - fy) + plane[1:] * fy
+            cache[key] = plane
+        return plane
+
     def half_pel_block(self, y4: int, x4: int, size: int = 16) -> np.ndarray:
-        """Fetch a block at quarter-pel coordinates via bilinear interp."""
+        """Fetch a block at quarter-pel coordinates via bilinear interp.
+
+        The vectorized backend uses integer index/fraction math (exact:
+        the fractions are quarters, so ``(y4 & 3) * 0.25`` is bit-equal to
+        the float remainder) and slices a lazily cached whole-plane
+        interpolation for the phase (see :meth:`_phase_plane`), which is
+        bit-identical to interpolating the block in place.
+        """
+        if kernels.is_vectorized():
+            fy_i = y4 & 3
+            fx_i = x4 & 3
+            y0 = (y4 >> 2) + self.pad
+            x0 = (x4 >> 2) + self.pad
+            # Views of the cached phase plane: subpel scoring and
+            # prediction fetches never mutate fetched blocks.
+            plane = self._phase_plane(fy_i, fx_i)
+            return plane[y0 : y0 + size, x0 : x0 + size]
         y = y4 / 4.0 + self.pad
         x = x4 / 4.0 + self.pad
         y0, x0 = int(np.floor(y)), int(np.floor(x))
@@ -82,7 +149,7 @@ def _sad(cur: np.ndarray, ref_block: np.ndarray) -> float:
     return float(np.sum(np.abs(cur.astype(np.int64) - ref_block.astype(np.int64))))
 
 
-def _pattern_search(
+def _pattern_search_reference(
     cur: np.ndarray,
     ref: PaddedReference,
     start: tuple[int, int],
@@ -93,7 +160,7 @@ def _pattern_search(
     *,
     max_iters: int = 64,
 ) -> MotionSearchResult:
-    """Iterative pattern search (shared by dia and hex coarse stages)."""
+    """The original scalar pattern search: one ``_sad`` call per candidate."""
     best_dx, best_dy = start
     best_cost = _sad(cur, ref.block(base_y + best_dy, base_x + best_dx))
     n_points = 1
@@ -124,12 +191,153 @@ def _pattern_search(
     )
 
 
+class _SearchWindow:
+    """Integer candidate scoring over one block's full search window.
+
+    Converts the ``(2*merange+16)``-pixel window to int64 once and exposes
+    every candidate block as a zero-copy sliding view, so scoring a round
+    of candidates is a single fancy-index gather plus one reduction.
+    Integer arithmetic makes each batched SAD exactly equal to the
+    per-candidate ``_sad`` calls it replaces.
+    """
+
+    __slots__ = ("cur", "views", "merange")
+
+    def __init__(
+        self,
+        cur: np.ndarray,
+        ref: PaddedReference,
+        base_y: int,
+        base_x: int,
+        merange: int,
+    ) -> None:
+        y0 = base_y - merange + ref.pad
+        x0 = base_x - merange + ref.pad
+        span = 2 * merange + 16
+        win = ref.plane[y0 : y0 + span, x0 : x0 + span].astype(np.int64)
+        n = span - 15
+        s0, s1 = win.strides
+        # Equivalent to sliding_window_view(win, (16, 16)) but without its
+        # per-call normalization overhead; one window is built per search.
+        self.views = as_strided(win, shape=(n, n, 16, 16), strides=(s0, s1, s0, s1))
+        self.cur = cur.astype(np.int64)
+        self.merange = merange
+
+    def sad(self, cx: int, cy: int) -> float:
+        m = self.merange
+        return float(np.abs(self.cur - self.views[cy + m, cx + m]).sum())
+
+    def sads(self, cands: list[tuple[int, int]]) -> np.ndarray:
+        m = self.merange
+        ys = np.fromiter((cy + m for _, cy in cands), dtype=np.intp, count=len(cands))
+        xs = np.fromiter((cx + m for cx, _ in cands), dtype=np.intp, count=len(cands))
+        blocks = self.views[ys, xs]
+        return np.abs(self.cur[None] - blocks).reshape(len(cands), -1).sum(axis=1)
+
+
+def _pattern_search_vectorized(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    start: tuple[int, int],
+    offsets: tuple[tuple[int, int], ...],
+    merange: int,
+    base_y: int,
+    base_x: int,
+    *,
+    max_iters: int = 64,
+    win: _SearchWindow | None = None,
+) -> MotionSearchResult:
+    """Batched pattern search: each round's candidates scored in one shot."""
+    if win is None:
+        win = _SearchWindow(cur, ref, base_y, base_x, merange)
+    best_dx, best_dy = start
+    best_cost = win.sad(best_dx, best_dy)
+    n_points = 1
+    positions = [(best_dx, best_dy)]
+    improvements = [True]
+    seen = {(best_dx, best_dy)}
+    for _ in range(max_iters):
+        center = (best_dx, best_dy)
+        cands: list[tuple[int, int]] = []
+        for dx, dy in offsets:
+            cx, cy = center[0] + dx, center[1] + dy
+            if abs(cx) > merange or abs(cy) > merange or (cx, cy) in seen:
+                continue
+            seen.add((cx, cy))
+            cands.append((cx, cy))
+        if not cands:
+            break
+        if len(cands) <= 2:
+            # Gather overhead beats two plain reductions; values match.
+            costs = [win.sad(cx, cy) for cx, cy in cands]
+        else:
+            costs = win.sads(cands)
+        improved = False
+        for (cx, cy), cost_i in zip(cands, costs):
+            cost = float(cost_i)
+            n_points += 1
+            positions.append((cx, cy))
+            better = cost < best_cost
+            improvements.append(better)
+            if better:
+                best_cost = cost
+                best_dx, best_dy = cx, cy
+                improved = True
+        if not improved:
+            break
+    return MotionSearchResult(
+        best_dx * 4, best_dy * 4, best_cost, n_points, positions, improvements
+    )
+
+
+def _pattern_search(
+    cur: np.ndarray,
+    ref: PaddedReference,
+    start: tuple[int, int],
+    offsets: tuple[tuple[int, int], ...],
+    merange: int,
+    base_y: int,
+    base_x: int,
+    *,
+    max_iters: int = 64,
+    win: _SearchWindow | None = None,
+) -> MotionSearchResult:
+    """Iterative pattern search (shared by dia and hex coarse stages)."""
+    if kernels.is_vectorized():
+        return _pattern_search_vectorized(
+            cur, ref, start, offsets, merange, base_y, base_x,
+            max_iters=max_iters, win=win,
+        )
+    return _pattern_search_reference(
+        cur, ref, start, offsets, merange, base_y, base_x, max_iters=max_iters
+    )
+
+
+def _make_window(
+    cur: np.ndarray, ref: PaddedReference, base_y: int, base_x: int, merange: int
+) -> _SearchWindow | None:
+    return (
+        _SearchWindow(cur, ref, base_y, base_x, merange)
+        if kernels.is_vectorized()
+        else None
+    )
+
+
 def _dia_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
-    return _pattern_search(cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x)
+    win = _make_window(cur, ref, base_y, base_x, merange)
+    return _pattern_search(
+        cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x, win=win
+    )
 
 
-def _hex_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
-    coarse = _pattern_search(cur, ref, pred, _HEX_OFFSETS, merange, base_y, base_x)
+def _hex_search(
+    cur, ref, merange, base_y, base_x, pred, win: _SearchWindow | None = None
+) -> MotionSearchResult:
+    if win is None:
+        win = _make_window(cur, ref, base_y, base_x, merange)
+    coarse = _pattern_search(
+        cur, ref, pred, _HEX_OFFSETS, merange, base_y, base_x, win=win
+    )
     # Final small-diamond refinement around the hexagon winner.
     fine = _pattern_search(
         cur,
@@ -140,6 +348,7 @@ def _hex_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
         base_y,
         base_x,
         max_iters=2,
+        win=win,
     )
     fine.n_points += coarse.n_points
     fine.positions = coarse.positions + fine.positions
@@ -148,9 +357,17 @@ def _hex_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
 
 
 def _umh_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
-    """Simplified uneven multi-hexagon: cross + scaled hexagon grid + hex."""
+    """Simplified uneven multi-hexagon: cross + scaled hexagon grid + hex.
+
+    The cross stage's candidate positions are fixed up front, so the
+    vectorized backend scores the whole cross in one batch; the hexagon
+    rings re-center on the running best mid-loop and therefore stay
+    sequential in both backends (only the per-candidate SAD is swapped
+    for the shared window's fast path).
+    """
+    win = _make_window(cur, ref, base_y, base_x, merange)
     best = _pattern_search(
-        cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x, max_iters=1
+        cur, ref, pred, _DIA_OFFSETS, merange, base_y, base_x, max_iters=1, win=win
     )
     n_points = best.n_points
     positions = list(best.positions)
@@ -158,9 +375,20 @@ def _umh_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
     best_dx, best_dy = best.mv_x // 4, best.mv_y // 4
     best_cost = best.cost
     # Cross search: horizontal & vertical lines at stride 2.
-    for d in range(2, merange + 1, 2):
-        for cx, cy in ((d, 0), (-d, 0), (0, d), (0, -d)):
-            cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
+    cross = [
+        (cx, cy)
+        for d in range(2, merange + 1, 2)
+        for cx, cy in ((d, 0), (-d, 0), (0, d), (0, -d))
+    ]
+    if cross:
+        if win is not None:
+            cross_costs = win.sads(cross)
+        else:
+            cross_costs = np.array(
+                [_sad(cur, ref.block(base_y + cy, base_x + cx)) for cx, cy in cross]
+            )
+        for (cx, cy), cost_i in zip(cross, cross_costs):
+            cost = float(cost_i)
             n_points += 1
             positions.append((cx, cy))
             better = cost < best_cost
@@ -176,7 +404,10 @@ def _umh_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
             cy = best_dy + hy * radius // 2
             if abs(cx) > merange or abs(cy) > merange:
                 continue
-            cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
+            if win is not None:
+                cost = win.sad(cx, cy)
+            else:
+                cost = _sad(cur, ref.block(base_y + cy, base_x + cx))
             n_points += 1
             positions.append((cx, cy))
             better = cost < best_cost
@@ -184,7 +415,9 @@ def _umh_search(cur, ref, merange, base_y, base_x, pred) -> MotionSearchResult:
             if better:
                 best_cost, best_dx, best_dy = cost, cx, cy
     # Final hexagon refinement from the grid winner.
-    refine = _hex_search(cur, ref, merange, base_y, base_x, (best_dx, best_dy))
+    refine = _hex_search(
+        cur, ref, merange, base_y, base_x, (best_dx, best_dy), win=win
+    )
     if refine.cost < best_cost:
         result = refine
     else:
@@ -216,14 +449,24 @@ def _esa_search(
         flat = np.argsort(sads, axis=None)[:8]
         best_cost = np.inf
         best_pos = (0, 0)
-        for f in flat:
-            iy, ix = divmod(int(f), sads.shape[1])
-            cand = views[iy, ix]
-            cost = hadamard_sad(cur, cand)
-            n_points += 1
-            if cost < best_cost:
-                best_cost = cost
-                best_pos = (ix - merange, iy - merange)
+        if kernels.is_vectorized():
+            iys, ixs = np.unravel_index(flat, sads.shape)
+            costs = hadamard_sad_batch(cur, views[iys, ixs])
+            for j in range(len(flat)):
+                cost = float(costs[j])
+                n_points += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_pos = (int(ixs[j]) - merange, int(iys[j]) - merange)
+        else:
+            for f in flat:
+                iy, ix = divmod(int(f), sads.shape[1])
+                cand = views[iy, ix]
+                cost = hadamard_sad(cur, cand)
+                n_points += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_pos = (ix - merange, iy - merange)
         best_dx, best_dy = best_pos
     else:
         iy, ix = np.unravel_index(int(np.argmin(sads)), sads.shape)
@@ -292,6 +535,11 @@ def subpel_refine(
     subme 0-1: none; 2-3: half-pel; 4-5: quarter-pel; 6+: quarter-pel
     scored with SATD (x264 switches to SATD/RD at higher levels). Returns
     a new result; ``n_points`` counts additional evaluations.
+
+    The refinement is greedy (each candidate position depends on the
+    running best), so both backends walk the same sequential pattern; the
+    vectorized backend only swaps in the cheap cost evaluation (hoisted
+    float cast, full-pel interpolation shortcut, fixed-path SATD).
     """
     if subme < 2:
         return result
@@ -300,11 +548,33 @@ def subpel_refine(
         steps.append(1)  # quarter-pel
     use_satd = subme >= 6
 
-    def cost_at(y4: int, x4: int) -> float:
-        block = ref.half_pel_block(base_y * 4 + y4, base_x * 4 + x4)
-        if use_satd:
-            return hadamard_sad(cur, block)
-        return float(np.sum(np.abs(cur.astype(np.float64) - block)))
+    if kernels.is_vectorized():
+        cur_f64 = cur.astype(np.float64)
+        # cost_at is pure, and the drifting diamond revisits positions;
+        # memoizing repeated evaluations returns the identical float while
+        # the n_points accounting below still counts every visit, exactly
+        # like the recomputing reference loop.
+        cache: dict[tuple[int, int], float] = {}
+
+        def cost_at(y4: int, x4: int) -> float:
+            key = (y4, x4)
+            cost = cache.get(key)
+            if cost is None:
+                block = ref.half_pel_block(base_y * 4 + y4, base_x * 4 + x4)
+                if use_satd:
+                    cost = satd_16x16(cur_f64 - block)
+                else:
+                    cost = float(np.abs(cur_f64 - block).sum())
+                cache[key] = cost
+            return cost
+
+    else:
+
+        def cost_at(y4: int, x4: int) -> float:
+            block = ref.half_pel_block(base_y * 4 + y4, base_x * 4 + x4)
+            if use_satd:
+                return hadamard_sad(cur, block)
+            return float(np.sum(np.abs(cur.astype(np.float64) - block)))
 
     best_x, best_y = result.mv_x, result.mv_y
     best_cost = cost_at(best_y, best_x)

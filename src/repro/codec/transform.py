@@ -4,19 +4,32 @@ We use the H.264 core transform matrix normalized into an orthonormal
 basis, so forward/inverse are exact adjoints (energy preserving — handy
 for property tests) while the *structure* (4x4 blocks, zigzag order,
 per-position quantization) matches the real codec.
+
+Every transform here is backend-dispatched (see
+:mod:`repro.codec.kernels`): the ``reference`` backend keeps the
+original per-call ``einsum(optimize=True)`` formulation, while the
+``vectorized`` backend uses fixed-order batched matrix products, which
+skip the per-call contraction-path search and are bit-identical (the
+greedy path resolves to the same two matmuls for every batch size).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.codec import kernels
+
 __all__ = [
     "forward_4x4",
     "inverse_4x4",
     "blockify_16x16",
     "unblockify_16x16",
+    "blockify_frame",
     "satd_4x4",
+    "satd_16x16",
+    "satd_batch",
     "hadamard_sad",
+    "hadamard_sad_batch",
     "ZIGZAG_4X4",
 ]
 
@@ -27,12 +40,14 @@ _CF = np.array(
 )
 _NORMS = np.sqrt(np.sum(_CF * _CF, axis=1))
 _T = _CF / _NORMS[:, None]  # orthonormal: _T @ _T.T == I
+_TT = np.ascontiguousarray(_T.T)
 
 # 4x4 Hadamard matrix for SATD.
 _H4 = np.array(
     [[1, 1, 1, 1], [1, 1, -1, -1], [1, -1, -1, 1], [1, -1, 1, -1]],
     dtype=np.float64,
 )
+_H4T = np.ascontiguousarray(_H4.T)
 
 #: Zigzag scan order for a 4x4 block as (row, col) index arrays.
 ZIGZAG_4X4 = (
@@ -41,27 +56,32 @@ ZIGZAG_4X4 = (
 )
 
 
+def _as_blocks(blocks: np.ndarray, what: str) -> np.ndarray:
+    arr = np.asarray(blocks, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[None]
+    if arr.shape[-2:] != (4, 4):
+        raise ValueError(f"expected (*, 4, 4) {what}, got {arr.shape}")
+    return arr
+
+
 def forward_4x4(blocks: np.ndarray) -> np.ndarray:
     """Forward transform of a batch of 4x4 residual blocks.
 
     ``blocks`` has shape ``(n, 4, 4)`` (any integer/float dtype); returns
     float64 coefficients of the same shape.
     """
-    arr = np.asarray(blocks, dtype=np.float64)
-    if arr.ndim == 2:
-        arr = arr[None]
-    if arr.shape[-2:] != (4, 4):
-        raise ValueError(f"expected (*, 4, 4) blocks, got {arr.shape}")
+    arr = _as_blocks(blocks, "blocks")
+    if kernels.is_vectorized():
+        return _T @ arr @ _TT
     return np.einsum("ij,njk,lk->nil", _T, arr, _T, optimize=True)
 
 
 def inverse_4x4(coeffs: np.ndarray) -> np.ndarray:
     """Inverse of :func:`forward_4x4` (exact adjoint)."""
-    arr = np.asarray(coeffs, dtype=np.float64)
-    if arr.ndim == 2:
-        arr = arr[None]
-    if arr.shape[-2:] != (4, 4):
-        raise ValueError(f"expected (*, 4, 4) coeffs, got {arr.shape}")
+    arr = _as_blocks(coeffs, "coeffs")
+    if kernels.is_vectorized():
+        return _TT @ arr @ _T
     return np.einsum("ji,njk,kl->nil", _T, arr, _T, optimize=True)
 
 
@@ -81,16 +101,73 @@ def unblockify_16x16(blocks: np.ndarray) -> np.ndarray:
     return blocks.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 16)
 
 
+def blockify_frame(plane: np.ndarray, size: int = 4) -> np.ndarray:
+    """Split a whole plane into ``size`` x ``size`` blocks in raster order.
+
+    The plane's dimensions must be multiples of ``size``; returns an
+    ``(n_blocks, size, size)`` array. This is the "blockify the frame
+    once" primitive the vectorized encoder paths batch over, generalizing
+    :func:`blockify_16x16` beyond a single macroblock.
+    """
+    h, w = plane.shape
+    if h % size or w % size:
+        raise ValueError(
+            f"plane shape {plane.shape} is not a multiple of {size}"
+        )
+    return (
+        plane.reshape(h // size, size, w // size, size)
+        .transpose(0, 2, 1, 3)
+        .reshape(-1, size, size)
+    )
+
+
 def satd_4x4(blocks: np.ndarray) -> float:
     """Sum of absolute Hadamard-transformed differences over 4x4 blocks.
 
     SATD is x264's sharper distortion metric used at higher subme levels;
     it approximates the bit cost of the residual better than SAD.
     """
-    arr = np.asarray(blocks, dtype=np.float64)
-    if arr.ndim == 2:
-        arr = arr[None]
-    trans = np.einsum("ij,njk,lk->nil", _H4, arr, _H4, optimize=True)
+    arr = _as_blocks(blocks, "blocks")
+    if kernels.is_vectorized():
+        trans = _H4 @ arr @ _H4T
+    else:
+        trans = np.einsum("ij,njk,lk->nil", _H4, arr, _H4, optimize=True)
+    return float(np.sum(np.abs(trans)) / 2.0)
+
+
+def satd_batch(block_sets: np.ndarray) -> np.ndarray:
+    """Per-candidate SATD over a ``(k, n, 4, 4)`` batch of block sets.
+
+    Returns a ``(k,)`` float64 vector where element ``i`` equals
+    ``satd_4x4(block_sets[i])`` bit-exactly (the per-candidate reduction
+    covers the same contiguous elements in the same order). The
+    ``reference`` backend literally loops :func:`satd_4x4`.
+    """
+    arr = np.asarray(block_sets, dtype=np.float64)
+    if arr.ndim != 4 or arr.shape[-2:] != (4, 4):
+        raise ValueError(f"expected (k, n, 4, 4) block sets, got {arr.shape}")
+    if not kernels.is_vectorized():
+        return np.array([satd_4x4(arr[i]) for i in range(arr.shape[0])])
+    trans = _H4 @ np.ascontiguousarray(arr) @ _H4T
+    return np.abs(trans).reshape(arr.shape[0], -1).sum(axis=1) / 2.0
+
+
+def satd_16x16(diff: np.ndarray) -> float:
+    """SATD of one 16x16 difference block (float64, shape ``(16, 16)``).
+
+    Equals ``satd_4x4(blockify_16x16(diff))`` bit-exactly; the vectorized
+    backend's flat entry point for hot callers that already hold the
+    difference (no validation layers, fixed contraction path).
+    """
+    if kernels.is_vectorized():
+        # matmul accepts the strided 4-D view directly; its fresh output is
+        # in the same logical order the (16, 4, 4) copy would have, so the
+        # full-array reduction sums identical values in an identical order.
+        quads = diff.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3)
+        trans = _H4 @ quads @ _H4T
+        return float(np.abs(trans).sum() / 2.0)
+    blocks = diff.reshape(4, 4, 4, 4).transpose(0, 2, 1, 3).reshape(16, 4, 4)
+    trans = np.einsum("ij,njk,lk->nil", _H4, blocks, _H4, optimize=True)
     return float(np.sum(np.abs(trans)) / 2.0)
 
 
@@ -99,4 +176,22 @@ def hadamard_sad(a: np.ndarray, b: np.ndarray) -> float:
     if a.shape != (16, 16) or b.shape != (16, 16):
         raise ValueError("hadamard_sad expects 16x16 blocks")
     diff = a.astype(np.float64) - b.astype(np.float64)
-    return satd_4x4(blockify_16x16(diff))
+    return satd_16x16(diff)
+
+
+def hadamard_sad_batch(cur: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """SATD of one 16x16 block against ``(k, 16, 16)`` candidates.
+
+    Element ``i`` equals ``hadamard_sad(cur, candidates[i])`` bit-exactly.
+    """
+    cands = np.asarray(candidates)
+    if cur.shape != (16, 16) or cands.ndim != 3 or cands.shape[-2:] != (16, 16):
+        raise ValueError("hadamard_sad_batch expects 16x16 blocks")
+    if not kernels.is_vectorized():
+        return np.array([hadamard_sad(cur, cands[i]) for i in range(len(cands))])
+    diff = cur.astype(np.float64)[None] - cands.astype(np.float64)
+    k = diff.shape[0]
+    blocks = (
+        diff.reshape(k, 4, 4, 4, 4).transpose(0, 1, 3, 2, 4).reshape(k, 16, 4, 4)
+    )
+    return satd_batch(blocks)

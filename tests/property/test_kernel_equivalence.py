@@ -1,0 +1,217 @@
+"""Bit-identity between the reference and vectorized kernel backends.
+
+The vectorized backend is an optimization, not an approximation: every
+kernel must produce *bitwise identical* outputs to the scalar reference
+on the same inputs, so golden-output tests and paper figures are
+backend-independent. These tests compare both backends directly — first
+kernel by kernel on random inputs, then through a full encode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.codec import kernels
+from repro.codec.encoder import encode
+from repro.codec.options import EncoderOptions
+
+
+def _both_backends(fn):
+    """Run ``fn()`` under each backend; return {backend: result}."""
+    out = {}
+    for backend in kernels.KERNEL_BACKENDS:
+        with kernels.use_backend(backend):
+            out[backend] = fn()
+    return out
+
+
+def _assert_identical_arrays(results):
+    ref, vec = results["reference"], results["vectorized"]
+    assert np.array_equal(np.asarray(ref), np.asarray(vec))
+    assert np.asarray(ref).dtype == np.asarray(vec).dtype
+
+
+# --- per-kernel equivalence -------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_transform_roundtrip_identical(seed):
+    from repro.codec.transform import forward_4x4, inverse_4x4
+
+    rng = np.random.default_rng(seed)
+    blocks = rng.uniform(-255, 255, size=(64, 4, 4))
+    fwd = _both_backends(lambda: forward_4x4(blocks))
+    _assert_identical_arrays(fwd)
+    inv = _both_backends(lambda: inverse_4x4(fwd["reference"]))
+    _assert_identical_arrays(inv)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_satd_identical(seed):
+    from repro.codec.transform import satd_16x16, satd_batch
+
+    # Integer-valued diffs, as the codec produces (uint8 pixel differences):
+    # Hadamard sums of integers are exact in float64, so the backends'
+    # different reduction orders still agree bitwise on this domain.
+    rng = np.random.default_rng(seed)
+    sets = rng.integers(-255, 256, size=(8, 16, 4, 4)).astype(np.float64)
+    batch = _both_backends(lambda: satd_batch(sets))
+    _assert_identical_arrays(batch)
+
+    diff = rng.integers(-255, 256, size=(16, 16)).astype(np.float64)
+    single = _both_backends(lambda: satd_16x16(diff))
+    assert single["reference"] == single["vectorized"]
+
+
+def test_entropy_encode_blocks_identical():
+    from repro.codec.entropy import BitWriter, encode_blocks
+
+    rng = np.random.default_rng(5)
+    levels = rng.integers(-6, 7, size=(32, 4, 4)).astype(np.int32)
+
+    def run():
+        writer = BitWriter()
+        encode_blocks(writer, levels)
+        return writer.getvalue()
+
+    results = _both_backends(run)
+    assert results["reference"] == results["vectorized"]
+
+
+def test_intra_prediction_identical(tiny_video):
+    from repro.codec.intra import best_intra_16x16, predict_4x4_blocks
+
+    src_frame = tiny_video.frames[0].luma
+    recon = tiny_video.frames[1].luma
+    for mb_y in range(0, src_frame.shape[0] - 15, 16):
+        for mb_x in range(0, src_frame.shape[1] - 15, 16):
+            src = src_frame[mb_y : mb_y + 16, mb_x : mb_x + 16]
+            p4 = _both_backends(lambda: predict_4x4_blocks(src, recon, mb_y, mb_x))
+            ref_pred, ref_sad, ref_tried = p4["reference"]
+            vec_pred, vec_sad, vec_tried = p4["vectorized"]
+            assert np.array_equal(ref_pred, vec_pred)
+            assert ref_sad == vec_sad
+            assert ref_tried == vec_tried
+
+            p16 = _both_backends(lambda: best_intra_16x16(src, recon, mb_y, mb_x))
+            ref, vec = p16["reference"], p16["vectorized"]
+            assert ref.mode == vec.mode
+            assert np.array_equal(ref.prediction, vec.prediction)
+            assert ref.sad == vec.sad
+            assert ref.n_modes_tried == vec.n_modes_tried
+
+
+@pytest.mark.parametrize("method", ["dia", "hex", "umh", "esa"])
+def test_motion_search_identical(tiny_video, method):
+    from repro.codec.motion import PaddedReference, motion_search
+
+    cur_plane = tiny_video.frames[1].luma
+    ref_plane = tiny_video.frames[0].luma
+
+    def run():
+        ref = PaddedReference.from_plane(ref_plane, pad=24)
+        out = []
+        for y in range(0, cur_plane.shape[0] - 15, 16):
+            for x in range(0, cur_plane.shape[1] - 15, 16):
+                res = motion_search(
+                    cur_plane[y : y + 16, x : x + 16], ref, y, x, method=method
+                )
+                out.append((res.mv_x, res.mv_y, res.cost, res.n_points))
+        return out
+
+    results = _both_backends(run)
+    assert results["reference"] == results["vectorized"]
+
+
+@pytest.mark.parametrize("subme", [3, 7, 9])
+def test_subpel_refine_identical(tiny_video, subme):
+    from repro.codec.motion import PaddedReference, motion_search, subpel_refine
+
+    cur_plane = tiny_video.frames[1].luma
+    ref_plane = tiny_video.frames[0].luma
+
+    def run():
+        ref = PaddedReference.from_plane(ref_plane, pad=24)
+        out = []
+        for y in range(0, cur_plane.shape[0] - 15, 16):
+            for x in range(0, cur_plane.shape[1] - 15, 16):
+                cur = cur_plane[y : y + 16, x : x + 16]
+                start = motion_search(cur, ref, y, x, method="hex")
+                res = subpel_refine(cur, ref, y, x, start, subme=subme)
+                out.append((res.mv_x, res.mv_y, res.cost, res.n_points))
+        return out
+
+    results = _both_backends(run)
+    assert results["reference"] == results["vectorized"]
+
+
+@pytest.mark.parametrize("qp", [12, 28, 44])
+def test_deblock_plane_identical(tiny_video, qp):
+    from repro.codec.deblock import deblock_plane
+
+    plane = tiny_video.frames[0].luma
+    results = _both_backends(lambda: deblock_plane(plane, qp=qp))
+    ref_plane, ref_edges = results["reference"]
+    vec_plane, vec_edges = results["vectorized"]
+    assert np.array_equal(ref_plane, vec_plane)
+    assert ref_edges == vec_edges
+
+
+def test_chroma_plane_identical(tiny_video):
+    from repro.codec.chroma import encode_chroma_plane
+    from repro.codec.entropy import BitWriter
+
+    plane = tiny_video.frames[0].luma[::2, ::2]
+    prev = tiny_video.frames[1].luma[::2, ::2]
+
+    def run():
+        writer = BitWriter()
+        encode_chroma_plane(writer, plane, prev, luma_qp=26)
+        return writer.getvalue()
+
+    results = _both_backends(run)
+    assert results["reference"] == results["vectorized"]
+
+
+# --- end-to-end encode equivalence ------------------------------------------
+
+
+def _encode_digest(video, options):
+    """Hash everything observable about an encode result."""
+    h = hashlib.sha256()
+    res = encode(video, options)
+    h.update(res.stream.bitstream)
+    for frame in res.stream.frames:
+        h.update(frame.recon.tobytes())
+    for fs in res.frame_stats:
+        h.update(
+            repr((fs.frame_type, fs.qp, fs.bits, fs.sad, fs.skip_mbs)).encode()
+        )
+    h.update(repr(res.psnr_db).encode())
+    return h.hexdigest()
+
+
+ENCODE_CONFIGS = [
+    pytest.param(EncoderOptions(), id="medium-defaults"),
+    pytest.param(
+        EncoderOptions(me="umh", subme=9, bframes=2, refs=3), id="umh-subme9"
+    ),
+    pytest.param(
+        EncoderOptions(me="esa", chroma=True, refs=2, trellis=2), id="esa-chroma"
+    ),
+    pytest.param(EncoderOptions(me="dia", subme=1, trellis=0), id="dia-fast"),
+]
+
+
+@pytest.mark.parametrize("options", ENCODE_CONFIGS)
+def test_encode_bit_identical_across_backends(tiny_video, options):
+    digests = _both_backends(lambda: _encode_digest(tiny_video, options))
+    assert digests["reference"] == digests["vectorized"]
+
+
+def test_encode_bit_identical_static_scene(static_video):
+    digests = _both_backends(lambda: _encode_digest(static_video, EncoderOptions()))
+    assert digests["reference"] == digests["vectorized"]

@@ -1,0 +1,62 @@
+"""Documentation conventions for the codec and bench packages.
+
+Every module must carry a module docstring and an explicit ``__all__``,
+and every ``__all__`` entry must resolve to a real attribute — the
+public surface documented in docs/ARCHITECTURE.md is generated from
+these, so a drifting ``__all__`` is a docs bug, not just style.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+AUDITED_PACKAGES = ["repro.codec", "repro.bench"]
+
+
+def _modules():
+    names = []
+    for pkg_name in AUDITED_PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        names.append(pkg_name)
+        for info in pkgutil.iter_modules(pkg.__path__):
+            names.append(f"{pkg_name}.{info.name}")
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _modules())
+def test_module_has_docstring(name):
+    mod = importlib.import_module(name)
+    doc = (mod.__doc__ or "").strip()
+    assert doc, f"{name} is missing a module docstring"
+    assert len(doc) >= 40, f"{name} docstring is too thin to be useful: {doc!r}"
+
+
+@pytest.mark.parametrize("name", _modules())
+def test_module_declares_all(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", None)
+    assert exported is not None, f"{name} does not declare __all__"
+    assert exported, f"{name} declares an empty __all__"
+    assert len(exported) == len(set(exported)), f"{name} has duplicate __all__ entries"
+
+
+@pytest.mark.parametrize("name", _modules())
+def test_all_entries_resolve(name):
+    mod = importlib.import_module(name)
+    missing = [entry for entry in mod.__all__ if not hasattr(mod, entry)]
+    assert not missing, f"{name}.__all__ names missing attributes: {missing}"
+
+
+@pytest.mark.parametrize("name", _modules())
+def test_public_callables_documented(name):
+    """Everything in __all__ that is callable or a class has a docstring."""
+    mod = importlib.import_module(name)
+    undocumented = []
+    for entry in mod.__all__:
+        obj = getattr(mod, entry)
+        if callable(obj) and not (obj.__doc__ or "").strip():
+            undocumented.append(entry)
+    assert not undocumented, f"{name}: undocumented public API: {undocumented}"

@@ -1,0 +1,70 @@
+"""Backend-switch semantics: env var, set_backend, use_backend nesting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec import kernels
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+def test_default_backend_is_vectorized():
+    assert kernels.active_backend() == "vectorized"
+    assert kernels.is_vectorized()
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "reference")
+    assert kernels.active_backend() == "reference"
+    assert not kernels.is_vectorized()
+    monkeypatch.setenv("REPRO_KERNELS", "  Vectorized  ")
+    assert kernels.active_backend() == "vectorized"
+
+
+def test_env_var_rejects_unknown(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "simd")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.active_backend()
+
+
+def test_set_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "vectorized")
+    kernels.set_backend("reference")
+    assert kernels.active_backend() == "reference"
+    kernels.set_backend(None)
+    assert kernels.active_backend() == "vectorized"
+
+
+def test_set_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.set_backend("scalar")
+
+
+def test_use_backend_nesting_innermost_wins():
+    kernels.set_backend("vectorized")
+    with kernels.use_backend("reference"):
+        assert kernels.active_backend() == "reference"
+        with kernels.use_backend("vectorized"):
+            assert kernels.active_backend() == "vectorized"
+        assert kernels.active_backend() == "reference"
+    assert kernels.active_backend() == "vectorized"
+
+
+def test_use_backend_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with kernels.use_backend("reference"):
+            raise RuntimeError("boom")
+    assert kernels.active_backend() == "vectorized"
+
+
+def test_use_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        with kernels.use_backend("fast"):
+            pass  # pragma: no cover

@@ -1,0 +1,152 @@
+"""Bench harness: workload wiring, artifact roundtrip, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    KERNEL_BENCH_NAMES,
+    bench_artifact_path,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_e2e_fig3,
+    run_kernel_benches,
+    write_bench,
+)
+from repro.bench.report import build_payload
+from repro.obs import MetricsRegistry
+
+
+def _fake_payload(kernel_speedups, e2e_speedup, rev="abc1234"):
+    kernels = {
+        name: {
+            "blocks": 64.0,
+            "reference_ns_per_block": 1000.0 * s,
+            "vectorized_ns_per_block": 1000.0,
+            "speedup": s,
+        }
+        for name, s in kernel_speedups.items()
+    }
+    e2e = {
+        "width": 112,
+        "height": 64,
+        "n_frames": 8,
+        "cells": [
+            {"crf": 23, "refs": 1, "reference_s": e2e_speedup, "vectorized_s": 1.0,
+             "speedup": e2e_speedup},
+        ],
+        "reference_s": e2e_speedup,
+        "vectorized_s": 1.0,
+        "reference_frames_per_s": 8 / e2e_speedup,
+        "vectorized_frames_per_s": 8.0,
+        "speedup": e2e_speedup,
+    }
+    payload = build_payload(kernels, e2e, MetricsRegistry())
+    payload["rev"] = rev
+    return payload
+
+
+def test_run_kernel_benches_subset():
+    registry = MetricsRegistry()
+    names = ["transform.forward_4x4", "entropy.encode_blocks"]
+    results = run_kernel_benches(registry, reps=1, names=names)
+    assert sorted(results) == sorted(names)
+    for row in results.values():
+        assert row["blocks"] > 0
+        assert row["reference_ns_per_block"] > 0
+        assert row["vectorized_ns_per_block"] > 0
+        assert row["speedup"] > 0
+    metrics = registry.as_dict()
+    assert "bench.kernel.transform.forward_4x4.reference_s" in metrics
+    assert "bench.kernel.transform.forward_4x4.vectorized_s" in metrics
+
+
+def test_run_e2e_fig3_single_cell():
+    registry = MetricsRegistry()
+    e2e = run_e2e_fig3(registry, reps=1, cells=((23, 1),), n_frames=2)
+    assert e2e["n_frames"] == 2
+    assert len(e2e["cells"]) == 1
+    assert e2e["cells"][0]["crf"] == 23
+    assert e2e["reference_s"] > 0 and e2e["vectorized_s"] > 0
+    assert e2e["speedup"] == pytest.approx(
+        e2e["reference_s"] / e2e["vectorized_s"]
+    )
+    assert "bench.e2e.crf23_refs1.reference_s" in registry.as_dict()
+
+
+def test_kernel_bench_names_stable():
+    # The baseline artifact keys off these names; renames are breaking.
+    assert "transform.forward_4x4" in KERNEL_BENCH_NAMES
+    assert "motion.subpel_refine" in KERNEL_BENCH_NAMES
+    assert len(KERNEL_BENCH_NAMES) == len(set(KERNEL_BENCH_NAMES))
+
+
+def test_write_load_roundtrip(tmp_path):
+    payload = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    path = write_bench(payload, tmp_path / "BENCH_test.json")
+    assert path.read_text().endswith("\n")
+    assert load_bench(path) == payload
+    assert bench_artifact_path(payload, tmp_path).name == "BENCH_abc1234.json"
+
+
+def test_load_bench_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/v9"}))
+    with pytest.raises(ValueError, match="not a repro-bench/v1"):
+        load_bench(path)
+
+
+def test_render_bench_mentions_workloads():
+    payload = _fake_payload({"transform.forward_4x4": 3.5}, 3.0)
+    text = render_bench(payload)
+    assert "transform.forward_4x4" in text
+    assert "3.50x" in text
+    assert "e2e fig3 slice" in text
+
+
+def test_compare_no_regression():
+    base = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    cur = _fake_payload({"transform.forward_4x4": 2.9}, 2.8, rev="def5678")
+    report, regressions = compare_bench(cur, base, threshold=0.25)
+    assert regressions == []
+    assert "no regressions" in report
+
+
+def test_compare_flags_e2e_regression():
+    base = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    cur = _fake_payload({"transform.forward_4x4": 3.0}, 2.0, rev="def5678")
+    report, regressions = compare_bench(cur, base, threshold=0.25)
+    assert regressions == ["e2e:fig3-slice"]
+    assert "REGRESSION" in report
+
+
+def test_compare_kernel_threshold_is_looser():
+    # A 40% kernel drop is within the doubled (50%) kernel threshold, but
+    # the same drop end-to-end trips the 25% gate.
+    base = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    cur = _fake_payload({"transform.forward_4x4": 1.8}, 3.0, rev="def5678")
+    _, regressions = compare_bench(cur, base, threshold=0.25)
+    assert regressions == []
+    cur2 = _fake_payload({"transform.forward_4x4": 1.4}, 3.0, rev="def5678")
+    _, regressions2 = compare_bench(cur2, base, threshold=0.25)
+    assert regressions2 == ["kernel:transform.forward_4x4"]
+
+
+def test_compare_one_sided_workloads_not_regressions():
+    base = _fake_payload({"transform.forward_4x4": 3.0, "old.kernel": 2.0}, 3.0)
+    cur = _fake_payload({"transform.forward_4x4": 3.0, "new.kernel": 1.0}, 3.0)
+    report, regressions = compare_bench(cur, base)
+    assert regressions == []
+    assert "(removed)" in report
+    assert "(new)" in report
+
+
+def test_payload_schema_and_metrics():
+    payload = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    assert payload["schema"] == BENCH_SCHEMA
+    assert set(payload["host"]) == {"python", "numpy", "machine"}
+    assert isinstance(payload["metrics"], dict)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Check that local markdown links resolve.
+
+Scans the given markdown files (or the repo's default doc set) for
+inline links and validates every *local* target: relative file paths
+must exist, and intra-document ``#fragment`` anchors must match a
+heading in the target file (GitHub slug rules: lowercase, punctuation
+stripped, spaces to dashes). External ``http(s):``/``mailto:`` links
+are skipped — CI must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_FILES = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/PERFORMANCE.md",
+]
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _strip_code_fences(text: str) -> str:
+    """Drop fenced code blocks — example links in them are not claims."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def _github_slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # unwrap links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(md_path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for line in _strip_code_fences(md_path.read_text()).splitlines():
+        m = _HEADING_RE.match(line)
+        if m:
+            slugs.add(_github_slug(m.group(1)))
+    return slugs
+
+
+def check_file(md_path: Path) -> list[str]:
+    """Return one error string per broken local link in ``md_path``."""
+    errors: list[str] = []
+    text = _strip_code_fences(md_path.read_text())
+    for target in _LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md_path}: broken link target {target!r}")
+                continue
+        else:
+            resolved = md_path.resolve()
+        if fragment:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if fragment not in _anchors(resolved):
+                errors.append(
+                    f"{md_path}: anchor #{fragment} not found in {resolved.name}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] if argv else [
+        Path(f) for f in DEFAULT_FILES if Path(f).exists()
+    ]
+    errors: list[str] = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file does not exist")
+            continue
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
