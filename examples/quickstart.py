@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import decode, load_video, transcode
+from repro import decode, load_video
+from repro.ffmpeg import transcode
 
 
 def main() -> None:

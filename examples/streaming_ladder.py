@@ -13,8 +13,9 @@ paper characterizes in Figures 3-6.
 
 from __future__ import annotations
 
-from repro import EncoderOptions, load_video, profile_transcode
+from repro import load_video
 from repro._util import format_table
+from repro.profiling import profile_transcode
 from repro.codec.presets import preset_options
 
 

@@ -3,6 +3,10 @@ Characterization of Cloud Video Transcoding" (IISWC 2020).
 
 Public API surface
 ------------------
+- :mod:`repro.api` — **the blessed facade**: typed requests/results, the
+  consolidated :class:`~repro.api.Settings`, and one entry point per
+  workflow (encode, profile, sweep, schedule, serve);
+- :mod:`repro.service` — the long-lived transcoding job service;
 - :mod:`repro.video` — frames, synthetic vbench stand-ins, quality metrics;
 - :mod:`repro.codec` — the x264-style encoder/decoder and the ten presets;
 - :mod:`repro.ffmpeg` — the transcode pipeline and CLI facade;
@@ -15,20 +19,24 @@ Public API surface
 
 Quickstart::
 
-    from repro import transcode, load_video, profile_transcode
+    from repro import api
 
-    clip = load_video("cricket")
-    result = transcode(clip, preset="medium", crf=23)
-    profiled = profile_transcode(clip)
+    result = api.encode("cricket", preset="medium", crf=23)
+    profiled = api.profile("cricket")
     print(profiled.counters.backend_bound)
+
+The historical top-level aliases ``repro.transcode`` and
+``repro.profile_transcode`` still resolve, but emit a
+``DeprecationWarning`` (once per symbol) pointing at their
+:mod:`repro.api` replacements.
 """
 
+import warnings
+
 from repro.codec import EncoderOptions, decode, encode, preset_options
-from repro.ffmpeg import transcode
-from repro.profiling import profile_transcode
 from repro.video import load_video
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "transcode",
@@ -40,3 +48,34 @@ __all__ = [
     "profile_transcode",
     "__version__",
 ]
+
+#: Deprecated top-level aliases: name -> (replacement hint, loader).
+_DEPRECATED_ALIASES = {
+    "transcode": "repro.api.encode",
+    "profile_transcode": "repro.api.profile",
+}
+
+#: Symbols whose deprecation warning already fired (once per process).
+_warned_deprecations: set[str] = set()
+
+
+def _load_deprecated(name: str):
+    if name == "transcode":
+        from repro.ffmpeg import transcode as symbol
+    else:
+        from repro.profiling import profile_transcode as symbol
+    return symbol
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        if name not in _warned_deprecations:
+            _warned_deprecations.add(name)
+            warnings.warn(
+                f"repro.{name} is deprecated; use "
+                f"{_DEPRECATED_ALIASES[name]} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return _load_deprecated(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,315 @@
+"""The five blessed entry points: encode, profile, sweep, schedule, serve.
+
+One function per workflow, all consuming/producing the typed records in
+:mod:`repro.api.types`. The CLI, the experiments, and the service layer
+route through these — per-module ``run()`` functions and the historical
+``repro.transcode`` / ``repro.profile_transcode`` aliases remain only as
+deprecated shims.
+
+- :func:`encode` — one transcode (the Fig. 2 triangle);
+- :func:`profile` — one perf-stat-style profiled transcode;
+- :func:`sweep` — any paper table/figure by experiment id;
+- :func:`schedule` — the batch scheduler case study (Fig. 9);
+- :func:`serve` — a synchronous pass of the long-lived job service.
+
+``sweep`` and ``serve`` accept ``telemetry_dir`` and then export
+``run.json`` / ``events.jsonl`` / ``trace.json`` artifacts around the
+run, exactly like the CLI's ``--telemetry`` flag.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.api.settings import Settings
+from repro.api.types import TranscodeRequest, TranscodeResult
+from repro.profiling.perf import ProfileResult, profile_transcode
+from repro.scheduling.casestudy import CaseStudyResult, run_case_study
+from repro.scheduling.task import TABLE_III_TASKS, TranscodeTask
+from repro.service.service import (
+    ServiceConfig,
+    ServiceReport,
+    run_service,
+)
+from repro.video.vbench import load_video
+
+__all__ = [
+    "encode",
+    "profile",
+    "render_experiment",
+    "schedule",
+    "serve",
+    "sweep",
+]
+
+
+def _as_request(
+    request: TranscodeRequest | str, **overrides: object
+) -> TranscodeRequest:
+    if isinstance(request, TranscodeRequest):
+        if overrides:
+            raise ValueError(
+                "pass either a TranscodeRequest or keyword overrides, not both"
+            )
+        return request
+    return TranscodeRequest(clip=request, **overrides)  # type: ignore[arg-type]
+
+
+def encode(
+    request: TranscodeRequest | str,
+    *,
+    width: int | None = None,
+    height: int | None = None,
+    n_frames: int | None = None,
+    **overrides: object,
+) -> TranscodeResult:
+    """Transcode one clip and return the speed/quality/size triangle.
+
+    ``request`` is a :class:`~repro.api.types.TranscodeRequest` or a
+    vbench clip name (with ``preset`` / ``crf`` / ``refs`` keyword
+    overrides). ``width`` / ``height`` / ``n_frames`` size the proxy
+    clip. No simulation runs: ``cycles`` is ``None`` in the result.
+    """
+    from repro.ffmpeg.transcode import transcode as _transcode
+
+    req = _as_request(request, **overrides)
+    video = load_video(req.clip, width=width, height=height, n_frames=n_frames)
+    out = _transcode(video, options=req.options())
+    return TranscodeResult(
+        clip=req.clip,
+        preset=req.preset,
+        crf=req.crf,
+        refs=req.refs,
+        psnr_db=out.quality_psnr_db,
+        bitrate_kbps=out.size_bitrate_kbps,
+        encode_seconds=out.encode.encode_seconds,
+    )
+
+
+def profile(
+    request: TranscodeRequest | str,
+    *,
+    width: int | None = None,
+    height: int | None = None,
+    n_frames: int | None = None,
+    config=None,
+    data_capacity_scale: float | None = None,
+    **overrides: object,
+) -> ProfileResult:
+    """Profile one transcode perf-stat style (encode under a tracer,
+    simulate, return the paper's counter set). Accepts the same request
+    forms as :func:`encode`; ``config`` picks the simulated µarch
+    (default: the Table IV baseline)."""
+    req = _as_request(request, **overrides)
+    video = load_video(req.clip, width=width, height=height, n_frames=n_frames)
+    return profile_transcode(
+        video,
+        req.options(),
+        config=config,
+        data_capacity_scale=data_capacity_scale,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiments.
+# ----------------------------------------------------------------------
+
+def render_experiment(exp_id: str, scale) -> str:
+    """Run one registered experiment and return its rendered text.
+
+    Imports are local so cheap experiments do not pay for numpy-heavy
+    modules they do not use; ``KeyError`` for unknown ids.
+    """
+    if exp_id == "tab1":
+        from repro.experiments.tables import tab1
+
+        return tab1(scale).render()
+    if exp_id == "tab2":
+        from repro.experiments.tables import tab2
+
+        return tab2()
+    if exp_id == "tab3":
+        from repro.experiments.tables import tab3
+
+        return tab3()
+    if exp_id == "tab4":
+        from repro.experiments.tables import tab4
+
+        return tab4()
+    if exp_id == "fig3":
+        from repro.experiments import fig3_heatmaps
+
+        return fig3_heatmaps.run(scale).render()
+    if exp_id == "fig4":
+        from repro.experiments import fig4_projections
+
+        return fig4_projections.run(scale).render()
+    if exp_id == "fig5":
+        from repro.experiments import fig5_inefficiency
+
+        return fig5_inefficiency.run(scale).render()
+    if exp_id == "fig6":
+        from repro.experiments import fig6_presets
+
+        return fig6_presets.run(scale).render()
+    if exp_id == "fig7":
+        from repro.experiments import fig7_videos
+
+        return fig7_videos.run(scale).render()
+    if exp_id == "fig8":
+        from repro.experiments import fig8_compiler
+
+        return fig8_compiler.run(scale).render()
+    if exp_id == "fig9":
+        from repro.experiments import fig9_scheduler
+
+        return fig9_scheduler.run(scale).render()
+    if exp_id == "roofline":
+        from repro.experiments import roofline_sweep
+
+        return roofline_sweep.run(scale).render()
+    raise KeyError(exp_id)
+
+
+def _resolve_scale(scale):
+    from repro.experiments.runner import SCALES
+
+    if isinstance(scale, str):
+        return SCALES[scale]
+    return scale
+
+
+def sweep(
+    experiment: str,
+    scale="quick",
+    *,
+    telemetry_dir: str | Path | None = None,
+    settings: Settings | None = None,
+) -> str:
+    """Run one paper experiment end to end and return its rendered text.
+
+    ``scale`` is a name (``quick`` / ``medium`` / ``full``) or an
+    :class:`~repro.experiments.runner.ExperimentScale`. With
+    ``telemetry_dir`` the run executes under a telemetry session and
+    exports ``run.json`` / ``events.jsonl`` / ``trace.json`` there. A
+    ``settings`` object, when given, is applied first (see
+    :class:`repro.api.Settings` for the precedence rules).
+
+    A sweep whose cells exhaust their retry budget raises
+    :class:`~repro.experiments.runner.SweepFailure` after recording a
+    ``status: "partial"`` artifact — the caller decides how to degrade.
+    """
+    if settings is not None:
+        settings.apply()
+    resolved = _resolve_scale(scale)
+    if telemetry_dir is None:
+        return render_experiment(experiment, resolved)
+
+    from repro.experiments.runner import SweepFailure
+    from repro.obs import export_session, span, telemetry_session
+
+    t0 = time.perf_counter()
+    status = "ok"
+    failures: list[dict[str, object]] | None = None
+    with telemetry_session() as tel:
+        tel.meta["argv_experiment"] = experiment
+        try:
+            with span("experiment", id=experiment, scale=resolved.name):
+                output = render_experiment(experiment, resolved)
+        except SweepFailure as exc:
+            status = "partial"
+            failures = exc.failure_payloads()
+            raise
+        except Exception:
+            status = "failed"
+            raise
+        finally:
+            paths = export_session(
+                tel,
+                telemetry_dir,
+                experiment=experiment,
+                scale=resolved.name,
+                wall_seconds=time.perf_counter() - t0,
+                status=status,
+                failures=failures,
+            )
+            print(f"[{experiment}] telemetry: {paths['run']}", file=sys.stderr)
+    return output
+
+
+def schedule(
+    tasks: tuple[TranscodeTask, ...] = TABLE_III_TASKS,
+    *,
+    width: int = 112,
+    height: int = 64,
+    n_frames: int = 10,
+    data_capacity_scale: float = 48.0,
+    mapper=None,
+) -> CaseStudyResult:
+    """Run the batch scheduler case study (paper §V / Fig. 9): simulate
+    every task on the baseline and all Table IV variants, then evaluate
+    the random / smart / best schedulers."""
+    return run_case_study(
+        tasks,
+        width=width,
+        height=height,
+        n_frames=n_frames,
+        data_capacity_scale=data_capacity_scale,
+        mapper=mapper,
+    )
+
+
+def serve(
+    requests: list[TranscodeRequest],
+    config: ServiceConfig | None = None,
+    *,
+    control: bool = True,
+    resume: bool = False,
+    telemetry_dir: str | Path | None = None,
+    settings: Settings | None = None,
+) -> ServiceReport:
+    """Run one synchronous pass of the transcoding job service.
+
+    Submits ``requests`` to a :class:`~repro.service.TranscodeService`
+    built from ``config``, drains it, and (by default) re-runs the same
+    submissions under the random-placement control so the report carries
+    the serving-mode smart-vs-random margin. With ``telemetry_dir`` the
+    pass runs under a telemetry session and exports run artifacts with
+    ``experiment: "serve"``.
+    """
+    if settings is not None:
+        settings.apply()
+    if telemetry_dir is None:
+        return run_service(
+            requests, config, control=control, resume=resume
+        )
+
+    from repro.obs import current, export_session, telemetry_session
+
+    # Nested sessions are not allowed; reuse an active one (tests often
+    # run the facade inside their own session).
+    session_cm = nullcontext(current()) if current() else telemetry_session()
+    t0 = time.perf_counter()
+    status = "ok"
+    with session_cm as tel:
+        try:
+            report = run_service(
+                requests, config, control=control, resume=resume
+            )
+        except Exception:
+            status = "failed"
+            raise
+        finally:
+            paths = export_session(
+                tel,
+                telemetry_dir,
+                experiment="serve",
+                scale=(config or ServiceConfig()).policy,
+                wall_seconds=time.perf_counter() - t0,
+                status=status,
+            )
+            print(f"[serve] telemetry: {paths['run']}", file=sys.stderr)
+    return report

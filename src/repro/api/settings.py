@@ -1,0 +1,183 @@
+"""One resolved configuration record for every ``REPRO_*`` knob.
+
+Historically each subsystem read its own environment variables at its
+own time (``REPRO_JOBS`` in the parallel engine, ``REPRO_CACHE_DIR`` in
+the cache, ``REPRO_KERNELS`` in the codec dispatch, ``REPRO_RETRY_*`` /
+``REPRO_FAULT_PLAN`` / ``REPRO_RESUME`` / ``REPRO_CHECKPOINT_DIR`` in
+the resilience layer). :class:`Settings` consolidates them into a single
+dataclass with one documented precedence order:
+
+    **CLI flag > environment variable > built-in default**
+
+:meth:`Settings.resolve` implements exactly that order (pass the CLI
+flag values; ``None`` means "flag not given"), and :meth:`Settings.apply`
+pushes the resolved values into the subsystems, after which nothing
+re-reads the environment. CLI subcommands construct a ``Settings`` from
+their flags and read only from it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.codec import kernels as _kernels
+from repro.resilience.retry import RetryPolicy
+
+__all__ = ["ENV_VARS", "Settings"]
+
+#: Environment variable -> Settings field, for documentation and tests.
+ENV_VARS = {
+    "REPRO_JOBS": "jobs",
+    "REPRO_CACHE_DIR": "cache_dir",
+    "REPRO_KERNELS": "kernels",
+    "REPRO_FAULT_PLAN": "fault_plan",
+    "REPRO_RESUME": "resume",
+    "REPRO_CHECKPOINT_DIR": "checkpoint_dir",
+    "REPRO_RETRY_*": "retry",
+}
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Every process-wide knob, fully resolved.
+
+    Fields mirror the historical environment variables (see
+    :data:`ENV_VARS`); a constructed ``Settings`` is inert until
+    :meth:`apply` installs it.
+    """
+
+    jobs: int = 1
+    cache_dir: Path | None = None
+    cache_enabled: bool = True
+    kernels: str = _kernels.DEFAULT_BACKEND
+    retry: RetryPolicy = RetryPolicy()
+    fault_plan: str | None = None
+    resume: bool = False
+    checkpoint_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.kernels not in _kernels.KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernels!r}; choose from "
+                f"{', '.join(_kernels.KERNEL_BACKENDS)}"
+            )
+        if self.fault_plan:
+            # Validate eagerly so a bad plan fails at resolve time, not
+            # at the first fault point deep inside a sweep.
+            from repro.resilience.faults import parse_fault_plan
+
+            parse_fault_plan(self.fault_plan)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "Settings":
+        """Built-in defaults overlaid with the environment variables."""
+        kwargs: dict[str, object] = {}
+        jobs_raw = os.environ.get("REPRO_JOBS", "").strip()
+        if jobs_raw:
+            try:
+                kwargs["jobs"] = max(int(jobs_raw), 1)
+            except ValueError:
+                pass
+        cache_raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        if cache_raw:
+            kwargs["cache_dir"] = Path(cache_raw)
+        kernels_raw = os.environ.get("REPRO_KERNELS", "").strip().lower()
+        if kernels_raw in _kernels.KERNEL_BACKENDS:
+            kwargs["kernels"] = kernels_raw
+        plan_raw = os.environ.get("REPRO_FAULT_PLAN", "").strip()
+        if plan_raw:
+            kwargs["fault_plan"] = plan_raw
+        resume_raw = os.environ.get("REPRO_RESUME", "").strip().lower()
+        if resume_raw:
+            kwargs["resume"] = resume_raw in _TRUTHY
+        ckpt_raw = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+        if ckpt_raw:
+            kwargs["checkpoint_dir"] = Path(ckpt_raw)
+        kwargs["retry"] = RetryPolicy.from_env()
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+        no_cache: bool = False,
+        kernels: str | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: str | None = None,
+        resume: bool | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> "Settings":
+        """Resolve CLI flags over the environment over the defaults.
+
+        Every parameter is a CLI flag value; ``None`` (or ``False`` for
+        ``no_cache``) means the flag was not given, so the environment
+        (then the default) wins for that field.
+        """
+        settings = cls.from_env()
+        updates: dict[str, object] = {}
+        if jobs is not None:
+            updates["jobs"] = max(int(jobs), 1)
+        if cache_dir is not None:
+            updates["cache_dir"] = Path(cache_dir)
+        if no_cache:
+            updates["cache_enabled"] = False
+        if kernels is not None:
+            updates["kernels"] = kernels
+        if retry is not None:
+            updates["retry"] = retry
+        if fault_plan is not None:
+            updates["fault_plan"] = fault_plan
+        if resume is not None:
+            updates["resume"] = bool(resume)
+        if checkpoint_dir is not None:
+            updates["checkpoint_dir"] = Path(checkpoint_dir)
+        return replace(settings, **updates) if updates else settings  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def apply(self) -> "Settings":
+        """Install this configuration process-wide.
+
+        Pushes the resolved values into the sweep engine, the resilience
+        layer, and the kernel dispatch; afterwards none of them consults
+        the environment again until :func:`reset` (tests) or another
+        ``apply``. Returns ``self`` for chaining.
+        """
+        from repro import resilience
+        from repro.experiments import parallel as engine
+
+        engine.configure(
+            jobs=self.jobs,
+            cache_dir=(
+                False if not self.cache_enabled
+                else self.cache_dir if self.cache_dir is not None
+                else None
+            ),
+        )
+        resilience.configure(
+            fault_plan=self.fault_plan if self.fault_plan else None,
+            retry=self.retry,
+            resume=self.resume,
+            checkpoint_dir=self.checkpoint_dir,
+        )
+        _kernels.set_backend(self.kernels)
+        return self
+
+    @staticmethod
+    def reset() -> None:
+        """Undo :meth:`apply`: restore every subsystem's env-fallback
+        behaviour (used by tests and by long-lived embedding hosts)."""
+        from repro import resilience
+        from repro.experiments import parallel as engine
+
+        engine.configure(jobs=None, cache_dir=None)
+        resilience.reset()
+        _kernels.set_backend(None)

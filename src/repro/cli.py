@@ -17,26 +17,33 @@ Examples::
     repro report --diff a/run.json b/run.json
     repro bench                       # benchmark kernels + fig3 slice
     repro bench --compare BENCH_baseline.json   # CI regression gate
+    repro submit cricket --crf 30 --spool .repro/spool.jsonl
+    repro serve --spool .repro/spool.jsonl --telemetry out-serve/
+    repro serve --mix table3 --count 8          # the paper's §V task mix
 
-``--jobs`` / ``--cache-dir`` fall back to the ``REPRO_JOBS`` /
-``REPRO_CACHE_DIR`` environment variables when omitted; likewise
-``--fault-plan`` / ``--resume`` / ``--checkpoint-dir`` fall back to
-``REPRO_FAULT_PLAN`` / ``REPRO_RESUME`` / ``REPRO_CHECKPOINT_DIR``.
+Every flag falls back to its environment variable with one documented
+precedence order — **CLI flag > environment > default** — implemented by
+:class:`repro.api.Settings` (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+``REPRO_KERNELS``, ``REPRO_FAULT_PLAN``, ``REPRO_RESUME``,
+``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``). Subcommands read only the
+resolved ``Settings``; nothing else consults the environment.
 
 A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
 stderr (and in ``run.json`` as ``status: "partial"`` with a ``failures``
 list under ``--telemetry``), and the process exits with code 3.
 
-``repro bench`` times every backend-dispatched codec kernel under both
-``REPRO_KERNELS`` backends plus an end-to-end fig3 slice, writes a
-``BENCH_<rev>.json`` artifact, and with ``--compare`` exits with code 4
-when any speedup regressed more than the threshold versus the baseline.
+``repro serve`` runs the long-lived transcoding job service over a
+request spool (``repro submit`` appends to it) or the built-in Table III
+mix, places jobs with the smart (or random-control) policy, and exits 1
+if any job finished ``failed``. ``repro bench`` keeps its historical
+behaviour (exit 4 on regression vs. the baseline artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -47,102 +54,15 @@ from repro.experiments.runner import SCALES
 
 __all__ = ["main"]
 
-
-def _render(exp_id: str, scale) -> str:
-    # Imports are local so `repro tab2` does not pay for numpy-heavy
-    # experiment modules it does not use.
-    if exp_id == "tab1":
-        from repro.experiments.tables import tab1
-
-        return tab1(scale).render()
-    if exp_id == "tab2":
-        from repro.experiments.tables import tab2
-
-        return tab2()
-    if exp_id == "tab3":
-        from repro.experiments.tables import tab3
-
-        return tab3()
-    if exp_id == "tab4":
-        from repro.experiments.tables import tab4
-
-        return tab4()
-    if exp_id == "fig3":
-        from repro.experiments import fig3_heatmaps
-
-        return fig3_heatmaps.run(scale).render()
-    if exp_id == "fig4":
-        from repro.experiments import fig4_projections
-
-        return fig4_projections.run(scale).render()
-    if exp_id == "fig5":
-        from repro.experiments import fig5_inefficiency
-
-        return fig5_inefficiency.run(scale).render()
-    if exp_id == "fig6":
-        from repro.experiments import fig6_presets
-
-        return fig6_presets.run(scale).render()
-    if exp_id == "fig7":
-        from repro.experiments import fig7_videos
-
-        return fig7_videos.run(scale).render()
-    if exp_id == "fig8":
-        from repro.experiments import fig8_compiler
-
-        return fig8_compiler.run(scale).render()
-    if exp_id == "fig9":
-        from repro.experiments import fig9_scheduler
-
-        return fig9_scheduler.run(scale).render()
-    if exp_id == "roofline":
-        from repro.experiments import roofline_sweep
-
-        return roofline_sweep.run(scale).render()
-    raise KeyError(exp_id)
+#: Default spool file used by `repro submit` / `repro serve --spool`.
+DEFAULT_SPOOL = Path(".repro") / "spool.jsonl"
 
 
 def _run_one(exp_id: str, scale, telemetry_dir: Path | None) -> str:
-    """Run one experiment, optionally under a telemetry session that
-    exports ``run.json`` / ``events.jsonl`` / ``trace.json``.
+    """Run one experiment through the blessed facade."""
+    from repro.api import sweep
 
-    A :class:`~repro.experiments.runner.SweepFailure` propagates, but is
-    first recorded in the artifact as ``status: "partial"`` with the
-    failed cells listed under ``failures``.
-    """
-    if telemetry_dir is None:
-        return _render(exp_id, scale)
-
-    from repro.experiments.runner import SweepFailure
-    from repro.obs import export_session, span, telemetry_session
-
-    t0 = time.perf_counter()
-    status = "ok"
-    failures: list[dict[str, object]] | None = None
-    with telemetry_session() as tel:
-        tel.meta["argv_experiment"] = exp_id
-        try:
-            with span("experiment", id=exp_id, scale=scale.name):
-                output = _render(exp_id, scale)
-        except SweepFailure as exc:
-            status = "partial"
-            failures = exc.failure_payloads()
-            raise
-        except Exception:
-            status = "failed"
-            raise
-        finally:
-            paths = export_session(
-                tel,
-                telemetry_dir,
-                experiment=exp_id,
-                scale=scale.name,
-                wall_seconds=time.perf_counter() - t0,
-                status=status,
-                failures=failures,
-            )
-            print(f"[{exp_id}] telemetry: {paths['run']}", file=sys.stderr)
-    return output
+    return sweep(exp_id, scale, telemetry_dir=telemetry_dir)
 
 
 def _cache_main(argv: list[str]) -> int:
@@ -279,10 +199,183 @@ def _report_main(argv: list[str]) -> int:
     return 0
 
 
+def _submit_main(argv: list[str]) -> int:
+    """``repro submit``: append one typed request to the spool file."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Queue one transcoding job for `repro serve`.",
+    )
+    parser.add_argument("clip", help="vbench clip short name, e.g. cricket")
+    parser.add_argument("--preset", default="medium",
+                        help="x264-style preset name (default: medium)")
+    parser.add_argument("--crf", type=int, default=23,
+                        help="rate factor in [0, 51] (default: 23)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="reference frames (default: the preset's own)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="dispatch priority; higher runs first")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="soft deadline carried into status artifacts")
+    parser.add_argument("--spool", metavar="PATH", default=None,
+                        help=f"spool file (default: {DEFAULT_SPOOL})")
+    args = parser.parse_args(argv)
+
+    from repro.api import TranscodeRequest
+
+    try:
+        request = TranscodeRequest(
+            clip=args.clip, preset=args.preset, crf=args.crf,
+            refs=args.refs, priority=args.priority,
+            deadline_ms=args.deadline_ms,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    spool = Path(args.spool) if args.spool else DEFAULT_SPOOL
+    spool.parent.mkdir(parents=True, exist_ok=True)
+    with open(spool, "a", encoding="utf-8") as handle:
+        json.dump(request.to_payload(), handle)
+        handle.write("\n")
+    print(f"queued {request.clip} preset={request.preset} "
+          f"crf={request.crf} -> {spool}")
+    return 0
+
+
+def _read_spool(spool: Path):
+    """Parse the spool file into requests (malformed lines are fatal)."""
+    from repro.api import TranscodeRequest
+
+    requests = []
+    with open(spool, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                requests.append(
+                    TranscodeRequest.from_payload(json.loads(line))
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"{spool}:{lineno}: bad spool entry: {exc}")
+    return requests
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``repro serve``: one synchronous pass of the job service."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the transcoding job service over queued "
+                    "submissions (or the paper's Table III mix).",
+    )
+    parser.add_argument("--spool", metavar="PATH", default=None,
+                        help=f"consume requests from this spool file "
+                             f"(default: {DEFAULT_SPOOL} if it exists)")
+    parser.add_argument("--mix", choices=("table3",), default=None,
+                        help="use a built-in request mix instead of a spool")
+    parser.add_argument("--count", type=int, default=8,
+                        help="number of jobs when using --mix (default: 8)")
+    parser.add_argument("--policy", choices=("smart", "random"),
+                        default="smart",
+                        help="placement policy (default: smart)")
+    parser.add_argument("--no-control", action="store_true",
+                        help="skip the random-placement control pass")
+    parser.add_argument("--fleet", metavar="SPEC", default=None,
+                        help="worker fleet, e.g. 'fe_op,be_op1:2,bs_op' "
+                             "(default: one worker per Table IV variant)")
+    parser.add_argument("--queue-capacity", type=int, default=64,
+                        help="admission queue bound (default: 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the random placement policy")
+    parser.add_argument("--quick", action="store_true",
+                        help="small proxy clips (48x32, 4 frames) for "
+                             "smokes and CI")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="checkpoint queue state to PATH after every "
+                             "dispatch round")
+    parser.add_argument("--resume", action="store_true",
+                        help="restore queue state from --checkpoint "
+                             "(default: $REPRO_RESUME)")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'service.worker,at=3,raise=RuntimeError' "
+                             "(default: $REPRO_FAULT_PLAN)")
+    parser.add_argument("--telemetry", metavar="OUT_DIR", default=None,
+                        help="write run.json/events.jsonl/trace.json and "
+                             "the jobs.json status artifact into OUT_DIR")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="where to write jobs.json (default: the "
+                             "--telemetry directory, else nowhere)")
+    args = parser.parse_args(argv)
+
+    from repro.api import ServiceConfig, Settings, serve, table3_requests
+    from repro.service import parse_fleet_spec
+
+    try:
+        settings = Settings.resolve(
+            fault_plan=args.fault_plan,
+            resume=True if args.resume else None,
+        ).apply()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.mix is not None:
+        requests = table3_requests(args.count)
+    else:
+        spool = Path(args.spool) if args.spool else DEFAULT_SPOOL
+        if not spool.exists():
+            parser.error(
+                f"no spool file at {spool}; `repro submit` jobs first or "
+                "pass --mix table3"
+            )
+        try:
+            requests = _read_spool(spool)
+        except ValueError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 1
+        if not requests:
+            print(f"repro serve: spool {spool} is empty", file=sys.stderr)
+            return 1
+
+    sizing = {"width": 48, "height": 32, "n_frames": 4} if args.quick else {}
+    try:
+        config = ServiceConfig(
+            fleet=(parse_fleet_spec(args.fleet) if args.fleet
+                   else ServiceConfig.fleet),
+            policy=args.policy,
+            seed=args.seed,
+            queue_capacity=args.queue_capacity,
+            checkpoint_path=(Path(args.checkpoint) if args.checkpoint
+                             else None),
+            **sizing,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    report = serve(
+        requests,
+        config,
+        control=not args.no_control,
+        resume=settings.resume,
+        telemetry_dir=args.telemetry,
+    )
+    print(report.render())
+
+    out_dir = args.out or args.telemetry
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        jobs_path = out / "jobs.json"
+        with open(jobs_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[serve] status artifact: {jobs_path}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # `list` and `report` are subcommands with their own options; the
-    # default command (run an experiment) keeps its historical flat form.
+    # `list`, `report`, `cache`, `bench`, `serve`, and `submit` are
+    # subcommands with their own options; the default command (run an
+    # experiment) keeps its historical flat form.
     if argv[:1] == ["list"]:
         return _list_main()
     if argv[:1] == ["report"]:
@@ -291,6 +384,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv[:1] == ["bench"]:
         return _bench_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _serve_main(argv[1:])
+    if argv[:1] == ["submit"]:
+        return _submit_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -300,7 +397,9 @@ def main(argv: list[str] | None = None) -> int:
                "telemetry artifacts; `repro cache {stats,clear}` "
                "inspects/clears the persistent result cache; "
                "`repro bench [--compare BASELINE.json]` benchmarks the "
-               "codec kernels and the fig3 slice.",
+               "codec kernels and the fig3 slice; `repro submit CLIP` "
+               "queues a job and `repro serve` runs the transcoding job "
+               "service over the queue.",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"
@@ -346,6 +445,13 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_CACHE_DIR is set",
     )
     parser.add_argument(
+        "--kernels",
+        choices=("reference", "vectorized"),
+        default=None,
+        help="codec kernel backend (default: $REPRO_KERNELS, else "
+             "vectorized)",
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="restore cells completed by a previous interrupted run from "
@@ -377,22 +483,23 @@ def main(argv: list[str] | None = None) -> int:
     scale = SCALES[args.scale]
     out_root = Path(args.telemetry) if args.telemetry else None
 
-    from repro import resilience
-    from repro.experiments import parallel as engine
+    from repro.api import Settings
     from repro.experiments.runner import SweepFailure
 
-    engine.configure(
-        jobs=args.jobs,
-        cache_dir=False if args.no_cache else args.cache_dir,
-    )
+    # Everything process-wide goes through one resolved Settings:
+    # CLI flag > environment variable > default.
     try:
-        resilience.configure(
+        Settings.resolve(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            kernels=args.kernels,
             fault_plan=args.fault_plan,
             resume=True if args.resume else None,
             checkpoint_dir=args.checkpoint_dir,
-        )
+        ).apply()
     except ValueError as exc:
-        parser.error(f"--fault-plan: {exc}")
+        parser.error(str(exc))
 
     ids = list(EXPERIMENT_IDS) if args.experiment == "all" else [args.experiment]
     succeeded: list[str] = []

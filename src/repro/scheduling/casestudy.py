@@ -56,6 +56,8 @@ class CaseStudyResult:
         best scheduler did (the paper's 75%)."""
         smart = self.assignments["smart"].placement
         best = self.assignments["best"].placement
+        if not smart:  # a zero-task run has no placements to match
+            return 0.0
         matches = sum(1 for t in smart if smart[t] == best[t])
         return matches / len(smart)
 

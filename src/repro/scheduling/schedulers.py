@@ -153,6 +153,13 @@ class SmartScheduler:
                     scores = affinity_scores(counters[task.task_id])
                     for j, name in enumerate(config_names):
                         score[i, j] = scores.get(name, 0.0)
+                # Deterministic tie-break: among equal-score assignments
+                # prefer lower task then lower config index, so identical
+                # inputs always yield identical placements.
+                score -= 1e-9 * (
+                    np.arange(len(tasks))[:, None] * len(config_names)
+                    + np.arange(len(config_names))[None, :]
+                )
             with obs.span("schedule.assign", algorithm="hungarian"):
                 rows, cols = linear_sum_assignment(-score)  # maximize
             placement = {

@@ -1,0 +1,65 @@
+"""The long-lived transcoding job service (queue → placement → fleet).
+
+The serving layer the ROADMAP's north star asks for, built from the
+paper's §V case study: typed job submissions are admitted through a
+bounded queue with backpressure, profiled once on the baseline
+configuration, and dispatched onto a heterogeneous fleet of warm
+workers — each pinned to one Table IV microarchitecture — by an online
+characterization-driven placement policy (with a seeded random control,
+so the paper's smart-vs-random margin is reproducible in serving mode).
+
+Pieces:
+
+- :mod:`repro.service.jobs` — the mutable job record around a request;
+- :mod:`repro.service.queue` — bounded priority queue + checkpoint serde;
+- :mod:`repro.service.workers` — the warm, config-pinned worker fleet
+  with crash-suspect isolation;
+- :mod:`repro.service.placement` — SmartScheduler-style vs. random
+  online placement;
+- :mod:`repro.service.service` — the service object, dispatch loop,
+  checkpointing, and report.
+
+Use through :func:`repro.api.serve` / ``repro serve`` rather than
+directly; the facade adds telemetry artifacts around a run.
+"""
+
+from repro.service.jobs import Job
+from repro.service.placement import (
+    PLACEMENT_POLICIES,
+    RandomPlacement,
+    SmartPlacement,
+    make_policy,
+)
+from repro.service.queue import BoundedJobQueue, QueueFullError
+from repro.service.service import (
+    ServiceConfig,
+    ServiceReport,
+    TranscodeService,
+    run_service,
+    table3_requests,
+)
+from repro.service.workers import (
+    DEFAULT_FLEET,
+    Worker,
+    WorkerFleet,
+    parse_fleet_spec,
+)
+
+__all__ = [
+    "BoundedJobQueue",
+    "DEFAULT_FLEET",
+    "Job",
+    "PLACEMENT_POLICIES",
+    "QueueFullError",
+    "RandomPlacement",
+    "ServiceConfig",
+    "ServiceReport",
+    "SmartPlacement",
+    "TranscodeService",
+    "Worker",
+    "WorkerFleet",
+    "make_policy",
+    "parse_fleet_spec",
+    "run_service",
+    "table3_requests",
+]

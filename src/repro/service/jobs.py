@@ -1,0 +1,120 @@
+"""Service job records: a request plus its lifecycle state.
+
+A :class:`Job` is the service's mutable wrapper around one immutable
+:class:`~repro.api.types.TranscodeRequest`: it tracks the lifecycle
+state (``queued`` → ``running`` → ``done`` | ``failed``), the placement
+attempts, which worker ran it, and the final
+:class:`~repro.api.types.TranscodeResult`. Jobs round-trip through
+plain-JSON payloads so the queue checkpoint can restore them after a
+service restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.types import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobStatus,
+    TranscodeRequest,
+    TranscodeResult,
+)
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One submitted request and everything that happened to it."""
+
+    job_id: int
+    request: TranscodeRequest
+    seq: int = 0                     # arrival order (FIFO within priority)
+    state: str = JOB_QUEUED
+    attempts: int = 0                # placement attempts (not retries)
+    worker: str | None = None        # worker name once placed
+    error: str | None = None
+    latency_cycles: float | None = None
+    result: TranscodeResult | None = field(default=None, repr=False)
+
+    # -- lifecycle transitions -----------------------------------------
+    def mark_running(self, worker: str) -> None:
+        """Record a placement attempt on ``worker``."""
+        self.state = JOB_RUNNING
+        self.worker = worker
+        self.attempts += 1
+
+    def mark_done(self, result: TranscodeResult) -> None:
+        """Record successful completion."""
+        self.state = JOB_DONE
+        self.result = result
+        self.latency_cycles = result.cycles
+        self.error = None
+
+    def mark_requeued(self, error: str) -> None:
+        """Return the job to the queue after a worker failure."""
+        self.state = JOB_QUEUED
+        self.error = error
+        self.worker = None
+
+    def mark_failed(self, error: str) -> None:
+        """Record terminal failure (placement attempts exhausted)."""
+        self.state = JOB_FAILED
+        self.error = error
+
+    # -- views ---------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self.state in (JOB_DONE, JOB_FAILED)
+
+    def status(self) -> JobStatus:
+        """A detached snapshot of this job for API consumers."""
+        return JobStatus(
+            job_id=self.job_id,
+            state=self.state,
+            clip=self.request.clip,
+            preset=self.request.preset,
+            crf=self.request.crf,
+            refs=self.request.refs,
+            priority=self.request.priority,
+            attempts=self.attempts,
+            worker=self.worker,
+            error=self.error,
+            result=self.result,
+        )
+
+    # -- serde ---------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-JSON form for the service checkpoint."""
+        return {
+            "job_id": self.job_id,
+            "request": self.request.to_payload(),
+            "seq": self.seq,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "latency_cycles": self.latency_cycles,
+            "result": None if self.result is None else self.result.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "Job":
+        """Inverse of :meth:`to_payload`."""
+        result = payload.get("result")
+        return cls(
+            job_id=int(payload["job_id"]),
+            request=TranscodeRequest.from_payload(payload["request"]),
+            seq=int(payload.get("seq", 0)),
+            state=str(payload.get("state", JOB_QUEUED)),
+            attempts=int(payload.get("attempts", 0)),
+            worker=payload.get("worker"),
+            error=payload.get("error"),
+            latency_cycles=payload.get("latency_cycles"),
+            result=None if result is None else TranscodeResult.from_payload(result),
+        )

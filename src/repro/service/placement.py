@@ -1,0 +1,134 @@
+"""Online placement policies: SmartScheduler-style vs. random control.
+
+Each dispatch round the service hands the policy the batch of pending
+jobs, the free workers, and the jobs' *baseline* profiling counters —
+never per-config runtimes (those belong to the oracle). Two policies:
+
+- :class:`SmartPlacement` scores every (job, worker) pair with the
+  paper's characterization-driven affinity model
+  (:func:`repro.scheduling.affinity.affinity_scores`) and solves the
+  assignment problem over the batch — the serving-mode twin of
+  :class:`repro.scheduling.schedulers.SmartScheduler`;
+- :class:`RandomPlacement` is the control: a deterministic, seeded
+  random one-to-one placement, so the paper's §V smart-vs-random margin
+  is reproducible in serving mode.
+
+Both are deterministic: smart breaks score ties toward lower job/worker
+indices (same convention as the batch SmartScheduler), and random
+derives its choices by hashing ``(seed, round, job_id)`` — no global
+RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.obs import session as obs
+from repro.profiling.counters import CounterSet
+from repro.scheduling.affinity import affinity_scores
+from repro.service.jobs import Job
+from repro.service.workers import Worker
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "RandomPlacement",
+    "SmartPlacement",
+    "make_policy",
+]
+
+#: Tie-break magnitude: far below any meaningful affinity difference,
+#: large enough to make equal-score assignments deterministic.
+_TIE_EPS = 1e-9
+
+
+class SmartPlacement:
+    """Characterization-driven assignment over each dispatch batch."""
+
+    name = "smart"
+
+    def place(
+        self,
+        jobs: list[Job],
+        workers: list[Worker],
+        counters: dict[int, CounterSet],
+    ) -> dict[int, Worker]:
+        """Map ``job_id -> worker`` for up to ``len(workers)`` jobs.
+
+        Builds the affinity matrix from baseline counters and solves the
+        (possibly rectangular) assignment problem maximizing predicted
+        benefit; each free worker takes at most one job per round.
+        """
+        if not jobs or not workers:
+            return {}
+        jobs = jobs[: len(workers)]
+        with obs.span("service.place", policy=self.name, jobs=len(jobs),
+                      workers=len(workers)):
+            score = np.zeros((len(jobs), len(workers)))
+            for i, job in enumerate(jobs):
+                scores = affinity_scores(counters[job.job_id])
+                for j, worker in enumerate(workers):
+                    score[i, j] = scores.get(worker.config_name, 0.0)
+            # Deterministic tie-break: among equal-score placements,
+            # prefer lower job then lower worker index.
+            score -= _TIE_EPS * (
+                np.arange(len(jobs))[:, None] * len(workers)
+                + np.arange(len(workers))[None, :]
+            )
+            rows, cols = linear_sum_assignment(-score)  # maximize
+        return {jobs[i].job_id: workers[j] for i, j in zip(rows, cols)}
+
+
+class RandomPlacement:
+    """Seeded random one-to-one placement (the control policy)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._round = 0
+
+    def place(
+        self,
+        jobs: list[Job],
+        workers: list[Worker],
+        counters: dict[int, CounterSet],
+    ) -> dict[int, Worker]:
+        """Map each job to a uniformly chosen distinct free worker.
+
+        Choices hash ``(seed, round, job_id)`` so a given seed yields
+        the same placements on every run; ``counters`` is accepted (and
+        ignored) to keep the policy signatures interchangeable.
+        """
+        if not jobs or not workers:
+            return {}
+        self._round += 1
+        free = list(workers)
+        placement: dict[int, Worker] = {}
+        with obs.span("service.place", policy=self.name, jobs=len(jobs),
+                      workers=len(workers)):
+            for job in jobs[: len(workers)]:
+                digest = hashlib.sha256(
+                    f"{self.seed}|{self._round}|{job.job_id}".encode()
+                ).digest()
+                index = int.from_bytes(digest[:8], "big") % len(free)
+                placement[job.job_id] = free.pop(index)
+        return placement
+
+
+#: Policy-name registry used by the service config and the CLI.
+PLACEMENT_POLICIES = ("smart", "random")
+
+
+def make_policy(name: str, *, seed: int = 0) -> SmartPlacement | RandomPlacement:
+    """Instantiate a placement policy by registry name."""
+    if name == "smart":
+        return SmartPlacement()
+    if name == "random":
+        return RandomPlacement(seed=seed)
+    raise ValueError(
+        f"unknown placement policy {name!r}; "
+        f"choose from {', '.join(PLACEMENT_POLICIES)}"
+    )

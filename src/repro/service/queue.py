@@ -1,0 +1,135 @@
+"""Bounded admission queue with backpressure and checkpointed state.
+
+The service admits jobs through a :class:`BoundedJobQueue`: submissions
+beyond ``capacity`` raise :class:`QueueFullError` (backpressure — the
+caller sheds load or retries later, exactly like a 429 from a serving
+stack). Dispatch order is priority-major (higher first), FIFO within a
+priority class; a requeued job keeps its original arrival sequence so a
+retry cannot jump ahead of its peers.
+
+The queue also owns the service's restartable state: :meth:`snapshot`
+returns a plain-JSON document of every tracked job (queued, running,
+done, failed), written atomically by the service after each dispatch
+round, and :meth:`restore` rebuilds the queue from it so a restarted
+service re-runs only the unfinished jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.types import JOB_QUEUED, JOB_RUNNING
+from repro.obs import session as obs
+from repro.service.jobs import Job
+
+__all__ = ["BoundedJobQueue", "QueueFullError"]
+
+#: Version stamp for the snapshot document.
+QUEUE_SNAPSHOT_VERSION = 1
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`BoundedJobQueue.put` when the queue is at
+    capacity — the service's backpressure signal."""
+
+
+class BoundedJobQueue:
+    """Priority-then-FIFO job queue with a hard capacity bound.
+
+    Tracks *every* job ever admitted (the service needs terminal jobs
+    for status queries and checkpoints); only non-terminal, non-running
+    jobs count against ``capacity`` and are eligible for dispatch.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._jobs: dict[int, Job] = {}   # insertion-ordered job registry
+
+    # -- admission ------------------------------------------------------
+    def put(self, job: Job) -> None:
+        """Admit ``job``; raises :class:`QueueFullError` at capacity."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"job {job.job_id} already admitted")
+        if self.depth() >= self.capacity:
+            obs.inc("service.queue_rejections")
+            raise QueueFullError(
+                f"queue at capacity ({self.capacity}); shed load or retry"
+            )
+        self._jobs[job.job_id] = job
+        self._observe_depth()
+
+    def requeue(self, job: Job) -> None:
+        """Return a previously admitted job to the dispatchable pool
+        (after a worker failure). Never rejects: the job already holds
+        an admission slot."""
+        if job.job_id not in self._jobs:
+            raise ValueError(f"job {job.job_id} was never admitted")
+        obs.inc("service.requeues")
+        self._observe_depth()
+
+    # -- dispatch -------------------------------------------------------
+    def pop_ready(self, n: int) -> list[Job]:
+        """Take up to ``n`` dispatchable jobs in priority-major, then
+        arrival, order and mark them running-eligible (the service
+        transitions them to ``running`` when it places them)."""
+        ready = sorted(
+            (j for j in self._jobs.values() if j.state == JOB_QUEUED),
+            key=lambda j: (-j.request.priority, j.seq),
+        )[: max(n, 0)]
+        self._observe_depth()
+        return ready
+
+    # -- views ----------------------------------------------------------
+    def depth(self) -> int:
+        """Jobs holding admission slots (queued or running)."""
+        return sum(
+            1 for j in self._jobs.values()
+            if j.state in (JOB_QUEUED, JOB_RUNNING)
+        )
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def pending(self) -> int:
+        """Jobs waiting for dispatch."""
+        return sum(1 for j in self._jobs.values() if j.state == JOB_QUEUED)
+
+    def get(self, job_id: int) -> Job:
+        """The tracked job with ``job_id`` (KeyError if unknown)."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> list[Job]:
+        """Every tracked job, in admission order."""
+        return list(self._jobs.values())
+
+    def _observe_depth(self) -> None:
+        obs.set_gauge("service.queue_depth", float(self.depth()))
+
+    # -- checkpoint serde ----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-JSON state of every tracked job."""
+        return {
+            "version": QUEUE_SNAPSHOT_VERSION,
+            "capacity": self.capacity,
+            "jobs": [j.to_payload() for j in self._jobs.values()],
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> int:
+        """Rebuild the queue from :meth:`snapshot` output; jobs caught
+        mid-flight (``running``) re-enter the queue. Returns the number
+        of jobs restored."""
+        version = snapshot.get("version")
+        if version != QUEUE_SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported queue snapshot version {version!r}"
+            )
+        self._jobs.clear()
+        for payload in snapshot.get("jobs", ()):
+            job = Job.from_payload(payload)
+            if job.state == JOB_RUNNING:
+                job.mark_requeued("restored after service restart")
+            self._jobs[job.job_id] = job
+        self._observe_depth()
+        return len(self._jobs)

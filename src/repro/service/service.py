@@ -1,0 +1,491 @@
+"""The long-lived transcoding job service: queue → placement → fleet.
+
+:class:`TranscodeService` accepts typed
+:class:`~repro.api.types.TranscodeRequest` submissions through a bounded
+queue (backpressure via :class:`~repro.service.queue.QueueFullError`),
+profiles each job once on the *baseline* configuration, and dispatches
+rounds of jobs onto a heterogeneous fleet of warm workers — each pinned
+to one Table IV µarch config — using an online placement policy
+(:mod:`repro.service.placement`).
+
+The dispatch model is synchronous and round-based: every
+:meth:`TranscodeService.run_until_idle` round takes up to one job per
+free worker (priority-major order), places the batch, and executes the
+placements. That keeps the service fully deterministic (a requirement
+inherited from the sweep engine) while exercising the same queue /
+placement / fleet data flow a threaded server would.
+
+Resilience reuses the PR-3 layer: retryable exceptions re-execute in
+place under the configured :class:`~repro.resilience.retry.RetryPolicy`;
+a worker whose job still fails is marked crash-suspect and isolated, and
+the job is re-placed on a different worker until its placement budget is
+spent. Queue state is checkpointed atomically after every round so a
+restarted service (``resume=True``) re-runs only unfinished jobs.
+
+Observability: per-job spans (``service.job``), queue-depth gauges,
+latency/speedup histograms, and per-policy summary gauges — all of which
+land in ``run.json`` when the caller runs under a telemetry session
+(``repro serve --telemetry OUT/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import resilience
+from repro.api.types import JobStatus, TranscodeRequest, TranscodeResult
+from repro.obs import session as obs
+from repro.profiling.counters import CounterSet
+from repro.resilience.retry import call_with_retry
+from repro.scheduling.task import TABLE_III_TASKS
+from repro.service.jobs import Job
+from repro.service.placement import PLACEMENT_POLICIES, make_policy
+from repro.service.queue import BoundedJobQueue
+from repro.service.workers import DEFAULT_FLEET, WorkerFleet
+from repro.trace.kernels import build_program
+from repro.trace.recorder import RecordingTracer
+from repro.uarch.configs import config_by_name
+from repro.uarch.simulator import simulate
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceReport",
+    "TranscodeService",
+    "run_service",
+    "table3_requests",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything that shapes one service instance."""
+
+    fleet: tuple[str, ...] = DEFAULT_FLEET
+    policy: str = "smart"
+    seed: int = 0
+    queue_capacity: int = 64
+    max_attempts: int = 3            # placement attempts per job
+    width: int = 112                 # proxy clip sizing (casestudy scale)
+    height: int = 64
+    n_frames: int = 10
+    data_capacity_scale: float = 48.0
+    checkpoint_path: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.policy!r}; "
+                f"choose from {', '.join(PLACEMENT_POLICIES)}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+def table3_requests(count: int = len(TABLE_III_TASKS)) -> list[TranscodeRequest]:
+    """``count`` requests cycling the paper's Table III task mix."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    requests = []
+    for i in range(count):
+        task = TABLE_III_TASKS[i % len(TABLE_III_TASKS)]
+        requests.append(
+            TranscodeRequest(
+                clip=task.video, preset=task.preset,
+                crf=task.crf, refs=task.refs,
+            )
+        )
+    return requests
+
+
+@dataclass
+class _ProfiledJob:
+    """Warm per-job state: one traced encode, replayable on any config."""
+
+    stream: Any
+    program: Any
+    counters: CounterSet
+    baseline_cycles: float
+    psnr_db: float
+    bitrate_kbps: float
+    encode_seconds: float
+
+
+@dataclass
+class ServiceReport:
+    """One service run's outcome, with an optional control run attached."""
+
+    policy: str
+    jobs_total: int
+    completed: int
+    failed: int
+    mean_latency_cycles: float
+    mean_speedup_pct: float
+    worker_crashes: int
+    placements: dict[int, str]       # job_id -> "worker (config)"
+    statuses: list[JobStatus] = field(repr=False, default_factory=list)
+    control: "ServiceReport | None" = None
+
+    @property
+    def margin_vs_control_pp(self) -> float | None:
+        """Mean-speedup margin over the control policy, in percentage
+        points (the serving-mode analogue of the paper's 3.72%)."""
+        if self.control is None:
+            return None
+        return self.mean_speedup_pct - self.control.mean_speedup_pct
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-JSON form (the ``jobs.json`` status artifact)."""
+        doc: dict[str, Any] = {
+            "policy": self.policy,
+            "jobs_total": self.jobs_total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "mean_latency_cycles": self.mean_latency_cycles,
+            "mean_speedup_pct": self.mean_speedup_pct,
+            "worker_crashes": self.worker_crashes,
+            "placements": {str(k): v for k, v in self.placements.items()},
+            "jobs": [s.to_payload() for s in self.statuses],
+        }
+        if self.control is not None:
+            doc["margin_vs_control_pp"] = self.margin_vs_control_pp
+            doc["control"] = self.control.to_payload()
+        return doc
+
+    def render(self) -> str:
+        """Human-readable summary for ``repro serve``."""
+        lines = [
+            f"service run — policy={self.policy}: "
+            f"{self.completed}/{self.jobs_total} jobs completed"
+            + (f", {self.failed} failed" if self.failed else ""),
+            f"  mean job latency: {self.mean_latency_cycles:,.0f} cycles",
+            f"  mean speedup over baseline: {self.mean_speedup_pct:+.2f}%",
+        ]
+        if self.worker_crashes:
+            lines.append(
+                f"  worker crashes isolated: {self.worker_crashes}"
+            )
+        for status in self.statuses:
+            placed = self.placements.get(status.job_id, "-")
+            lines.append(
+                f"    job {status.job_id}: {status.clip} "
+                f"preset={status.preset} crf={status.crf} -> "
+                f"{status.state} on {placed}"
+                + (f" [{status.error}]" if status.error else "")
+            )
+        if self.control is not None:
+            lines.append("")
+            lines.append(
+                f"control ({self.control.policy}): mean speedup "
+                f"{self.control.mean_speedup_pct:+.2f}%, mean latency "
+                f"{self.control.mean_latency_cycles:,.0f} cycles"
+            )
+            lines.append(
+                f"{self.policy} - {self.control.policy} = "
+                f"{self.margin_vs_control_pp:+.2f} pp (paper: +3.72)"
+            )
+        return "\n".join(lines)
+
+
+class TranscodeService:
+    """A long-lived transcoding job service over a warm worker fleet.
+
+    Synchronous in-process client: :meth:`submit` admits requests,
+    :meth:`run_until_idle` drains the queue, :meth:`status` /
+    :meth:`results` / :meth:`report` observe the outcome. The CLI's
+    ``repro serve`` wraps exactly this object.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        resume: bool = False,
+        profile_cache: dict[tuple, _ProfiledJob] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.queue = BoundedJobQueue(self.config.queue_capacity)
+        self.fleet = WorkerFleet(
+            self.config.fleet,
+            data_capacity_scale=self.config.data_capacity_scale,
+        )
+        self.policy = make_policy(self.config.policy, seed=self.config.seed)
+        self.worker_crashes = 0
+        self._next_id = 1
+        self._next_seq = 0
+        # Shared across service instances (e.g. a control run) so each
+        # unique request is traced and baseline-profiled exactly once.
+        self._profiles = profile_cache if profile_cache is not None else {}
+        self._baseline = config_by_name(
+            "baseline", data_capacity_scale=self.config.data_capacity_scale
+        )
+        if resume:
+            self._restore_checkpoint()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: TranscodeRequest) -> JobStatus:
+        """Admit one request; raises
+        :class:`~repro.service.queue.QueueFullError` at capacity."""
+        job = Job(job_id=self._next_id, request=request, seq=self._next_seq)
+        with obs.span("service.submit", job=job.job_id, clip=request.clip):
+            self.queue.put(job)
+        self._next_id += 1
+        self._next_seq += 1
+        obs.inc("service.jobs_submitted")
+        self._write_checkpoint()
+        return job.status()
+
+    def submit_many(
+        self, requests: list[TranscodeRequest]
+    ) -> list[JobStatus]:
+        """Admit several requests (stops at the first rejection)."""
+        return [self.submit(r) for r in requests]
+
+    # -- the dispatch loop ---------------------------------------------
+    def run_until_idle(self) -> ServiceReport:
+        """Dispatch rounds until no job is pending, then report.
+
+        Jobs that exhaust their placement budget — or find every worker
+        crash-suspect — finish ``failed``; the service itself never
+        raises for job-level trouble.
+        """
+        with obs.span("service.drain", policy=self.policy.name):
+            while self.queue.pending():
+                free = self.fleet.available()
+                if not free:
+                    for job in self.queue.pop_ready(self.queue.pending()):
+                        job.mark_failed("no workers available (all isolated)")
+                        obs.inc("service.jobs_failed")
+                    break
+                batch = self.queue.pop_ready(len(free))
+                counters = {
+                    job.job_id: self._profile(job).counters for job in batch
+                }
+                placement = self.policy.place(batch, free, counters)
+                for job in batch:
+                    worker = placement.get(job.job_id)
+                    if worker is None:  # more jobs than free workers
+                        continue
+                    self._execute(job, worker)
+                self._write_checkpoint()
+        return self.report()
+
+    def _execute(self, job: Job, worker) -> None:
+        """Run one placed job, with in-place retries and crash isolation."""
+        profiled = self._profile(job)
+        job.mark_running(worker.name)
+        with obs.span(
+            "service.job",
+            job=job.job_id,
+            clip=job.request.clip,
+            worker=worker.name,
+            config=worker.config_name,
+            policy=self.policy.name,
+            attempt=job.attempts,
+        ):
+            try:
+                cycles = call_with_retry(
+                    lambda: worker.execute(
+                        job, profiled.stream, profiled.program
+                    ),
+                    policy=resilience.retry_policy(),
+                    token=f"service.job.{job.job_id}",
+                    label="service.worker",
+                )
+            except Exception as exc:
+                self._on_worker_crash(job, worker, exc)
+                return
+        job.mark_done(
+            TranscodeResult(
+                clip=job.request.clip,
+                preset=job.request.preset,
+                crf=job.request.crf,
+                refs=job.request.refs,
+                psnr_db=profiled.psnr_db,
+                bitrate_kbps=profiled.bitrate_kbps,
+                encode_seconds=profiled.encode_seconds,
+                cycles=cycles,
+                config=worker.config_name,
+                baseline_cycles=profiled.baseline_cycles,
+            )
+        )
+        obs.inc("service.jobs_completed")
+        obs.observe("service.job_latency_cycles", cycles)
+        speedup = job.result.speedup_pct
+        if speedup is not None:
+            obs.observe("service.job_speedup_pct", speedup)
+
+    def _on_worker_crash(self, job: Job, worker, exc: Exception) -> None:
+        """Isolate a crashed worker and re-place (or fail) its job."""
+        self.fleet.isolate(worker, reason=str(exc))
+        self.worker_crashes += 1
+        obs.inc("service.worker_crashes")
+        error = f"{type(exc).__name__}: {exc} (worker {worker.name} isolated)"
+        if job.attempts >= self.config.max_attempts or not self.fleet.available():
+            job.mark_failed(error)
+            obs.inc("service.jobs_failed")
+        else:
+            job.mark_requeued(error)
+            self.queue.requeue(job)
+
+    # -- profiling (once per unique request) ---------------------------
+    def _profile(self, job: Job) -> _ProfiledJob:
+        """Trace-encode the job's clip once and profile it on the
+        baseline config; cached on the request's content key."""
+        key = job.request.content_key() + (
+            self.config.width, self.config.height, self.config.n_frames,
+            self.config.data_capacity_scale,
+        )
+        cached = self._profiles.get(key)
+        if cached is not None:
+            obs.inc("service.profile_hits")
+            return cached
+        from repro.codec.encoder import Encoder
+        from repro.video.vbench import load_video
+
+        with obs.span("service.profile", job=job.job_id,
+                      clip=job.request.clip):
+            video = load_video(
+                job.request.clip, width=self.config.width,
+                height=self.config.height, n_frames=self.config.n_frames,
+            )
+            program = build_program()
+            tracer = RecordingTracer(program)
+            encode_result = Encoder(
+                job.request.options(), tracer=tracer
+            ).encode(video)
+            base_report = simulate(tracer.stream, program, self._baseline)
+        profiled = _ProfiledJob(
+            stream=tracer.stream,
+            program=program,
+            counters=CounterSet.from_report(
+                base_report,
+                psnr_db=encode_result.psnr_db,
+                bitrate_kbps=encode_result.bitrate_kbps,
+            ),
+            baseline_cycles=base_report.cycles,
+            psnr_db=encode_result.psnr_db,
+            bitrate_kbps=encode_result.bitrate_kbps,
+            encode_seconds=encode_result.encode_seconds,
+        )
+        self._profiles[key] = profiled
+        return profiled
+
+    # -- observation ---------------------------------------------------
+    def status(self, job_id: int) -> JobStatus:
+        """The lifecycle snapshot of one job."""
+        return self.queue.get(job_id).status()
+
+    def statuses(self) -> list[JobStatus]:
+        """Snapshots of every admitted job, in admission order."""
+        return [j.status() for j in self.queue.jobs()]
+
+    def results(self) -> list[TranscodeResult]:
+        """Results of every completed job, in admission order."""
+        return [j.result for j in self.queue.jobs() if j.result is not None]
+
+    def report(self) -> ServiceReport:
+        """Summarize the run and publish the summary gauges."""
+        jobs = self.queue.jobs()
+        done = [j for j in jobs if j.result is not None]
+        latencies = [j.latency_cycles for j in done]
+        speedups = [
+            j.result.speedup_pct for j in done
+            if j.result.speedup_pct is not None
+        ]
+        mean_latency = float(np.mean(latencies)) if latencies else 0.0
+        mean_speedup = float(np.mean(speedups)) if speedups else 0.0
+        name = self.policy.name
+        obs.set_gauge(f"service.{name}.mean_latency_cycles", mean_latency)
+        obs.set_gauge(f"service.{name}.mean_speedup_pct", mean_speedup)
+        obs.set_gauge(f"service.{name}.jobs_completed", float(len(done)))
+        return ServiceReport(
+            policy=name,
+            jobs_total=len(jobs),
+            completed=len(done),
+            failed=sum(1 for j in jobs if j.state == "failed"),
+            mean_latency_cycles=mean_latency,
+            mean_speedup_pct=mean_speedup,
+            worker_crashes=self.worker_crashes,
+            placements={
+                j.job_id: f"{j.worker} ({j.result.config})"
+                for j in done if j.worker is not None
+            },
+            statuses=[j.status() for j in jobs],
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def _write_checkpoint(self) -> None:
+        path = self.config.checkpoint_path
+        if path is None:
+            return
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = self.queue.snapshot()
+        doc["next_id"] = self._next_id
+        doc["next_seq"] = self._next_seq
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.inc("service.checkpoint_writes")
+
+    def _restore_checkpoint(self) -> None:
+        path = self.config.checkpoint_path
+        if path is None or not Path(path).exists():
+            return
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        restored = self.queue.restore(doc)
+        self._next_id = int(doc.get("next_id", restored + 1))
+        self._next_seq = int(doc.get("next_seq", restored))
+        obs.inc("service.checkpoint_restores")
+
+
+def run_service(
+    requests: list[TranscodeRequest],
+    config: ServiceConfig | None = None,
+    *,
+    control: bool = True,
+    resume: bool = False,
+) -> ServiceReport:
+    """Run one synchronous service pass over ``requests``.
+
+    Submits everything, drains the queue, and — when ``control`` is true
+    and the primary policy is not already ``random`` — re-runs the same
+    submissions under the random-placement control (sharing the profile
+    cache, so the control pays no extra encodes) and attaches its report,
+    making the paper's smart-vs-random serving margin directly readable
+    from the returned :class:`ServiceReport`.
+    """
+    cfg = config or ServiceConfig()
+    shared_profiles: dict[tuple, _ProfiledJob] = {}
+    service = TranscodeService(
+        cfg, resume=resume, profile_cache=shared_profiles
+    )
+    service.submit_many(requests)
+    report = service.run_until_idle()
+    if control and cfg.policy != "random":
+        control_cfg = replace(cfg, policy="random", checkpoint_path=None)
+        control_service = TranscodeService(
+            control_cfg, profile_cache=shared_profiles
+        )
+        control_service.submit_many(requests)
+        report.control = control_service.run_until_idle()
+        margin = report.margin_vs_control_pp
+        if margin is not None:
+            obs.set_gauge("service.margin_vs_control_pp", margin)
+    return report

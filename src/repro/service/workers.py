@@ -1,0 +1,155 @@
+"""The heterogeneous worker fleet: warm simulators pinned to µarch configs.
+
+Each :class:`Worker` models one warm transcoding server pinned to a
+single Table IV microarchitecture configuration: the config object and
+the kernel program are built once at fleet construction (the "warm"
+state) and reused for every job, so per-job work is only the trace
+replay on the worker's configuration.
+
+Fault handling mirrors the sweep engine's crash-suspect protocol: a
+worker whose execution raises a *non-retryable* exception (retryable
+ones are retried in place by the service's
+:class:`~repro.resilience.retry.RetryPolicy`) is marked *suspect* and
+isolated — it takes no further placements until a fleet
+:meth:`WorkerFleet.reinstate`. The ``service.worker`` fault point makes
+those crashes injectable from a ``--fault-plan``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.faults import fault_point
+from repro.service.jobs import Job
+from repro.trace.program import Program
+from repro.uarch.configs import CONFIG_NAMES, config_by_name
+from repro.uarch.simulator import simulate
+
+__all__ = ["DEFAULT_FLEET", "Worker", "WorkerFleet", "parse_fleet_spec"]
+
+#: One worker per Table IV variant — the paper's §V serving fleet.
+DEFAULT_FLEET: tuple[str, ...] = ("fe_op", "be_op1", "be_op2", "bs_op")
+
+
+def parse_fleet_spec(spec: str) -> tuple[str, ...]:
+    """Parse a fleet spec like ``"fe_op,be_op1:2,bs_op"`` into config
+    names (``:N`` repeats a config N times). Raises ``ValueError`` on
+    unknown configs or malformed counts."""
+    names: list[str] = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, _, count_raw = clause.partition(":")
+        name = name.strip()
+        if name not in CONFIG_NAMES:
+            raise ValueError(
+                f"unknown µarch config {name!r}; "
+                f"choose from {', '.join(CONFIG_NAMES)}"
+            )
+        count = 1
+        if count_raw:
+            count = int(count_raw)
+            if count < 1:
+                raise ValueError(f"fleet count must be >= 1 in {clause!r}")
+        names.extend([name] * count)
+    if not names:
+        raise ValueError(f"empty fleet spec {spec!r}")
+    return tuple(names)
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker lifetime accounting."""
+
+    completed: int = 0
+    failed: int = 0
+    cycles: float = 0.0
+
+
+class Worker:
+    """One warm server pinned to a microarchitecture configuration."""
+
+    def __init__(
+        self,
+        name: str,
+        config_name: str,
+        *,
+        data_capacity_scale: float = 48.0,
+    ) -> None:
+        self.name = name
+        self.config_name = config_name
+        # Warm state: the config is materialized once, not per job.
+        self.config = config_by_name(
+            config_name, data_capacity_scale=data_capacity_scale
+        )
+        self.suspect = False
+        self.stats = WorkerStats()
+
+    def execute(self, job: Job, stream, program: Program) -> float:
+        """Replay ``job``'s recorded trace on this worker's µarch and
+        return the simulated cycles (the job's virtual latency).
+
+        ``service.worker`` is a fault point: plans may raise here to
+        model an encoder crash on this worker (the detail string is
+        ``"<worker> job=<id>"`` so ``match=`` can target one worker).
+        """
+        fault_point("service.worker", detail=f"{self.name} job={job.job_id}")
+        cycles = simulate(stream, program, self.config).cycles
+        self.stats.completed += 1
+        self.stats.cycles += cycles
+        return cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " SUSPECT" if self.suspect else ""
+        return f"<Worker {self.name} ({self.config_name}){flag}>"
+
+
+class WorkerFleet:
+    """The set of warm workers the placement policy chooses between."""
+
+    def __init__(
+        self,
+        config_names: tuple[str, ...] = DEFAULT_FLEET,
+        *,
+        data_capacity_scale: float = 48.0,
+    ) -> None:
+        if not config_names:
+            raise ValueError("fleet needs at least one worker")
+        self.workers: list[Worker] = [
+            Worker(f"w{i}:{name}", name,
+                   data_capacity_scale=data_capacity_scale)
+            for i, name in enumerate(config_names)
+        ]
+        self._by_name = {w.name: w for w in self.workers}
+
+    def available(self) -> list[Worker]:
+        """Workers eligible for placement (not crash-suspect)."""
+        return [w for w in self.workers if not w.suspect]
+
+    def isolate(self, worker: Worker, reason: str = "") -> None:
+        """Mark ``worker`` crash-suspect; it receives no further jobs."""
+        worker.suspect = True
+        worker.stats.failed += 1
+
+    def reinstate(self, worker: Worker) -> None:
+        """Return an isolated worker to service (operator action)."""
+        worker.suspect = False
+
+    def get(self, name: str) -> Worker:
+        """The worker called ``name`` (KeyError if unknown)."""
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def describe(self) -> str:
+        """One line per worker: name, config, stats, suspect flag."""
+        lines = []
+        for w in self.workers:
+            flag = "  [ISOLATED]" if w.suspect else ""
+            lines.append(
+                f"{w.name}: {w.config_name} "
+                f"completed={w.stats.completed} failed={w.stats.failed}{flag}"
+            )
+        return "\n".join(lines)

@@ -13,7 +13,7 @@ import pkgutil
 
 import pytest
 
-AUDITED_PACKAGES = ["repro.codec", "repro.bench"]
+AUDITED_PACKAGES = ["repro.codec", "repro.bench", "repro.api", "repro.service"]
 
 
 def _modules():

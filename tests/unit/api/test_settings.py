@@ -1,0 +1,143 @@
+"""Unit tests for the consolidated ``repro.api.Settings`` record.
+
+Covers the documented precedence order (CLI flag > environment >
+default), eager validation, and ``apply``/``reset`` pushing the resolved
+values into the subsystems.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import resilience
+from repro.api import ENV_VARS, Settings
+from repro.codec import kernels
+from repro.experiments import parallel as engine
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy
+
+ALL_ENV = (
+    "REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_KERNELS", "REPRO_FAULT_PLAN",
+    "REPRO_RESUME", "REPRO_CHECKPOINT_DIR", "REPRO_RETRY_ATTEMPTS",
+    "REPRO_RETRY_BASE_DELAY", "REPRO_RETRY_MAX_DELAY",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    """Isolate each test from ambient REPRO_* vars and applied state."""
+    for var in ALL_ENV:
+        monkeypatch.delenv(var, raising=False)
+    yield
+    Settings.reset()
+
+
+class TestDefaults:
+    def test_builtin_defaults(self):
+        s = Settings()
+        assert s.jobs == 1
+        assert s.cache_dir is None
+        assert s.cache_enabled is True
+        assert s.kernels == kernels.DEFAULT_BACKEND
+        assert s.fault_plan is None
+        assert s.resume is False
+        assert s.checkpoint_dir is None
+
+    def test_env_vars_map_to_real_fields(self):
+        field_names = set(Settings.__dataclass_fields__)
+        for field in ENV_VARS.values():
+            assert field in field_names
+
+
+class TestValidation:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            Settings(jobs=0)
+
+    def test_rejects_unknown_kernel_backend(self):
+        with pytest.raises(ValueError, match="kernel backend"):
+            Settings(kernels="quantum")
+
+    def test_rejects_malformed_fault_plan_eagerly(self):
+        with pytest.raises(ValueError):
+            Settings(fault_plan="sweep.compute,at=not-a-number")
+
+
+class TestPrecedence:
+    def test_env_beats_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        monkeypatch.setenv("REPRO_RESUME", "1")
+        s = Settings.from_env()
+        assert s.jobs == 3
+        assert s.cache_dir == tmp_path / "c"
+        assert s.kernels == "reference"
+        assert s.resume is True
+
+    def test_cli_flag_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        s = Settings.resolve(jobs=5, kernels="vectorized",
+                             checkpoint_dir=tmp_path / "ck")
+        assert s.jobs == 5
+        assert s.kernels == "vectorized"
+        assert s.checkpoint_dir == tmp_path / "ck"
+
+    def test_absent_flag_falls_through_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert Settings.resolve().jobs == 7
+
+    def test_no_cache_flag_disables_cache(self):
+        assert Settings.resolve(no_cache=True).cache_enabled is False
+        assert Settings.resolve().cache_enabled is True
+
+    def test_garbage_env_jobs_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert Settings.from_env().jobs == 1
+
+    def test_retry_policy_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "5")
+        s = Settings.from_env()
+        assert s.retry.max_attempts == 5
+
+
+class TestApply:
+    def test_apply_pushes_into_subsystems(self, tmp_path):
+        plan = "sweep.compute,at=99,raise=InjectedFault"
+        s = Settings(
+            jobs=2,
+            cache_dir=tmp_path / "cache",
+            kernels="reference",
+            retry=RetryPolicy(max_attempts=4),
+            fault_plan=plan,
+        )
+        assert s.apply() is s
+        assert engine.default_jobs() == 2
+        assert kernels.active_backend() == "reference"
+        assert resilience.retry_policy().max_attempts == 4
+        assert faults.active_plan() is not None
+
+    def test_apply_without_cache_disables_it(self):
+        Settings(cache_enabled=False).apply()
+        assert engine.default_cache() is None
+
+    def test_reset_restores_env_fallback(self, monkeypatch):
+        Settings(jobs=9, kernels="reference").apply()
+        Settings.reset()
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert engine.default_jobs() == 4
+        assert kernels.active_backend() == kernels.DEFAULT_BACKEND
+        assert faults.active_plan() is None
+
+
+class TestFrozen:
+    def test_settings_is_immutable(self):
+        s = Settings()
+        with pytest.raises(AttributeError):
+            s.jobs = 8
+
+    def test_resolve_accepts_str_paths(self):
+        s = Settings.resolve(cache_dir="somewhere", checkpoint_dir="else")
+        assert isinstance(s.cache_dir, Path)
+        assert isinstance(s.checkpoint_dir, Path)

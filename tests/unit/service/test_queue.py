@@ -1,0 +1,120 @@
+"""Unit tests for the bounded admission queue (backpressure, dispatch
+order, and checkpoint snapshot/restore)."""
+
+import pytest
+
+from repro.api.types import JOB_DONE, JOB_QUEUED
+from repro.service.jobs import Job
+from repro.service.queue import (
+    QUEUE_SNAPSHOT_VERSION,
+    BoundedJobQueue,
+    QueueFullError,
+)
+from repro.api.types import TranscodeRequest
+
+
+def make_job(job_id: int, *, priority: int = 0, seq: int | None = None) -> Job:
+    return Job(
+        job_id=job_id,
+        request=TranscodeRequest(clip="cricket", priority=priority),
+        seq=job_id if seq is None else seq,
+    )
+
+
+class TestAdmission:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedJobQueue(0)
+
+    def test_backpressure_at_capacity(self):
+        q = BoundedJobQueue(2)
+        q.put(make_job(1))
+        q.put(make_job(2))
+        with pytest.raises(QueueFullError, match="capacity"):
+            q.put(make_job(3))
+
+    def test_duplicate_job_id_rejected(self):
+        q = BoundedJobQueue(4)
+        q.put(make_job(1))
+        with pytest.raises(ValueError, match="already admitted"):
+            q.put(make_job(1))
+
+    def test_terminal_jobs_release_their_slots(self):
+        q = BoundedJobQueue(1)
+        job = make_job(1)
+        q.put(job)
+        job.mark_running("w0")
+        with pytest.raises(QueueFullError):
+            q.put(make_job(2))   # running jobs still hold a slot
+        job.mark_failed("boom")
+        q.put(make_job(2))       # terminal job freed the slot
+        assert q.depth() == 1
+
+    def test_requeue_requires_prior_admission(self):
+        q = BoundedJobQueue(2)
+        with pytest.raises(ValueError, match="never admitted"):
+            q.requeue(make_job(9))
+
+
+class TestDispatchOrder:
+    def test_priority_major_then_fifo(self):
+        q = BoundedJobQueue(8)
+        q.put(make_job(1, priority=0))
+        q.put(make_job(2, priority=5))
+        q.put(make_job(3, priority=5))
+        q.put(make_job(4, priority=1))
+        ready = q.pop_ready(4)
+        assert [j.job_id for j in ready] == [2, 3, 4, 1]
+
+    def test_pop_ready_respects_n(self):
+        q = BoundedJobQueue(8)
+        for i in range(1, 5):
+            q.put(make_job(i))
+        assert [j.job_id for j in q.pop_ready(2)] == [1, 2]
+        assert q.pop_ready(0) == []
+
+    def test_requeued_job_keeps_its_arrival_order(self):
+        q = BoundedJobQueue(8)
+        first, second = make_job(1), make_job(2)
+        q.put(first)
+        q.put(second)
+        first.mark_running("w0")
+        first.mark_requeued("crash")
+        q.requeue(first)
+        assert [j.job_id for j in q.pop_ready(2)] == [1, 2]
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_every_job(self):
+        q = BoundedJobQueue(8)
+        done = make_job(1)
+        queued = make_job(2, priority=3)
+        q.put(done)
+        q.put(queued)
+        done.mark_running("w0")
+        done.state = JOB_DONE
+
+        restored = BoundedJobQueue(8)
+        assert restored.restore(q.snapshot()) == 2
+        assert restored.get(1).state == JOB_DONE
+        assert restored.get(2).state == JOB_QUEUED
+        assert restored.get(2).request.priority == 3
+
+    def test_running_jobs_requeue_on_restore(self):
+        q = BoundedJobQueue(4)
+        job = make_job(1)
+        q.put(job)
+        job.mark_running("w0")
+
+        restored = BoundedJobQueue(4)
+        restored.restore(q.snapshot())
+        revived = restored.get(1)
+        assert revived.state == JOB_QUEUED
+        assert revived.worker is None
+        assert "restart" in (revived.error or "")
+
+    def test_unsupported_version_rejected(self):
+        snap = BoundedJobQueue(4).snapshot()
+        snap["version"] = QUEUE_SNAPSHOT_VERSION + 1
+        with pytest.raises(ValueError, match="snapshot version"):
+            BoundedJobQueue(4).restore(snap)

@@ -1,0 +1,228 @@
+"""Unit tests for the long-lived transcoding job service.
+
+Runs the real encode→trace→simulate path on tiny proxy clips (48x32, a
+few frames), so these tests cover the full queue → profile → placement →
+fleet data flow, including crash isolation and checkpoint/resume.
+"""
+
+import pytest
+
+from repro import resilience
+from repro.api.types import TranscodeRequest
+from repro.service import (
+    DEFAULT_FLEET,
+    QueueFullError,
+    ServiceConfig,
+    TranscodeService,
+    parse_fleet_spec,
+    run_service,
+    table3_requests,
+)
+
+TINY = dict(width=48, height=32, n_frames=3)
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience():
+    resilience.reset()
+    yield
+    resilience.reset()
+
+
+class TestConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="placement policy"):
+            ServiceConfig(policy="oracle")
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ServiceConfig(max_attempts=0)
+
+    def test_fleet_spec_parsing(self):
+        assert parse_fleet_spec("fe_op,be_op1:2") == (
+            "fe_op", "be_op1", "be_op1",
+        )
+        with pytest.raises(ValueError, match="unknown"):
+            parse_fleet_spec("warp_drive")
+        with pytest.raises(ValueError, match="empty"):
+            parse_fleet_spec(" , ")
+
+    def test_table3_requests_cycle_the_mix(self):
+        reqs = table3_requests(6)
+        assert len(reqs) == 6
+        assert reqs[0].content_key() == reqs[4].content_key()
+        with pytest.raises(ValueError):
+            table3_requests(0)
+
+
+class TestLifecycle:
+    def test_submit_and_drain(self):
+        service = TranscodeService(ServiceConfig(**TINY))
+        statuses = service.submit_many(table3_requests(4))
+        assert all(s.state == "queued" for s in statuses)
+
+        report = service.run_until_idle()
+        assert report.completed == 4
+        assert report.failed == 0
+        assert report.policy == "smart"
+        assert report.mean_latency_cycles > 0
+        for status in service.statuses():
+            assert status.state == "done"
+            assert status.result.cycles is not None
+            assert status.result.config in DEFAULT_FLEET
+        assert set(report.placements) == {1, 2, 3, 4}
+
+    def test_backpressure_surfaces_to_submitter(self):
+        service = TranscodeService(ServiceConfig(queue_capacity=1, **TINY))
+        service.submit(TranscodeRequest(clip="cricket"))
+        with pytest.raises(QueueFullError):
+            service.submit(TranscodeRequest(clip="holi"))
+
+    def test_identical_requests_profile_once(self):
+        service = TranscodeService(ServiceConfig(**TINY))
+        service.submit_many(table3_requests(8))  # 4 unique, each twice
+        report = service.run_until_idle()
+        assert report.completed == 8
+        assert len(service._profiles) == 4
+
+    def test_status_lookup(self):
+        service = TranscodeService(ServiceConfig(**TINY))
+        job = service.submit(TranscodeRequest(clip="cricket"))
+        assert service.status(job.job_id).state == "queued"
+        with pytest.raises(KeyError):
+            service.status(99)
+
+
+class TestCrashIsolation:
+    def test_crashed_worker_is_isolated_and_job_replaced(self):
+        resilience.configure(
+            fault_plan="service.worker,at=1,raise=RuntimeError"
+        )
+        service = TranscodeService(ServiceConfig(**TINY))
+        service.submit(TranscodeRequest(clip="cricket"))
+        report = service.run_until_idle()
+        assert report.completed == 1
+        assert report.worker_crashes == 1
+        assert len(service.fleet.available()) == len(DEFAULT_FLEET) - 1
+        status = service.statuses()[0]
+        assert status.state == "done"
+        assert status.attempts == 2  # first placement crashed
+
+    def test_attempt_budget_exhaustion_fails_the_job(self):
+        resilience.configure(
+            fault_plan="service.worker,at=1|2,raise=RuntimeError"
+        )
+        service = TranscodeService(ServiceConfig(max_attempts=2, **TINY))
+        service.submit(TranscodeRequest(clip="cricket"))
+        report = service.run_until_idle()
+        assert report.completed == 0
+        assert report.failed == 1
+        assert report.worker_crashes == 2
+        status = service.statuses()[0]
+        assert status.state == "failed"
+        assert "isolated" in status.error
+
+    def test_whole_fleet_isolated_fails_pending_jobs(self):
+        resilience.configure(
+            fault_plan="service.worker,raise=RuntimeError"
+        )
+        service = TranscodeService(
+            ServiceConfig(fleet=("fe_op",), max_attempts=5, **TINY)
+        )
+        service.submit(TranscodeRequest(clip="cricket"))
+        service.submit(TranscodeRequest(clip="holi"))
+        report = service.run_until_idle()
+        assert report.completed == 0
+        assert report.failed == 2
+        assert service.fleet.available() == []
+
+    def test_retryable_faults_retry_in_place(self):
+        # InjectedFault is retryable: the worker survives, no isolation.
+        resilience.configure(
+            fault_plan="service.worker,at=1,raise=InjectedFault"
+        )
+        service = TranscodeService(ServiceConfig(**TINY))
+        service.submit(TranscodeRequest(clip="cricket"))
+        report = service.run_until_idle()
+        assert report.completed == 1
+        assert report.worker_crashes == 0
+        assert len(service.fleet.available()) == len(DEFAULT_FLEET)
+
+
+class TestCheckpointResume:
+    def test_resume_restores_pending_jobs(self, tmp_path):
+        ckpt = tmp_path / "service.json"
+        first = TranscodeService(
+            ServiceConfig(checkpoint_path=ckpt, **TINY)
+        )
+        first.submit_many(table3_requests(3))
+        assert ckpt.exists()
+
+        revived = TranscodeService(
+            ServiceConfig(checkpoint_path=ckpt, **TINY), resume=True
+        )
+        assert revived.queue.pending() == 3
+        report = revived.run_until_idle()
+        assert report.completed == 3
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        ckpt = tmp_path / "service.json"
+        cfg = ServiceConfig(checkpoint_path=ckpt, **TINY)
+        first = TranscodeService(cfg)
+        first.submit_many(table3_requests(2))
+        first.run_until_idle()
+
+        revived = TranscodeService(cfg, resume=True)
+        assert revived.queue.pending() == 0
+        report = revived.run_until_idle()
+        assert report.completed == 2       # carried over, not re-run
+        # New submissions continue the id sequence past restored jobs.
+        status = revived.submit(TranscodeRequest(clip="cricket"))
+        assert status.job_id == 3
+
+    def test_resume_without_checkpoint_is_a_no_op(self, tmp_path):
+        cfg = ServiceConfig(
+            checkpoint_path=tmp_path / "missing.json", **TINY
+        )
+        service = TranscodeService(cfg, resume=True)
+        assert service.queue.pending() == 0
+
+
+class TestControlRun:
+    def test_control_attached_and_margin_defined(self):
+        report = run_service(
+            table3_requests(4), ServiceConfig(**TINY), control=True
+        )
+        assert report.control is not None
+        assert report.control.policy == "random"
+        assert report.control.completed == 4
+        assert report.margin_vs_control_pp == pytest.approx(
+            report.mean_speedup_pct - report.control.mean_speedup_pct
+        )
+
+    def test_random_primary_skips_control(self):
+        report = run_service(
+            table3_requests(2),
+            ServiceConfig(policy="random", **TINY),
+            control=True,
+        )
+        assert report.control is None
+
+    def test_payload_round_trips_to_json(self):
+        import json
+
+        report = run_service(
+            table3_requests(2), ServiceConfig(**TINY), control=True
+        )
+        doc = json.loads(json.dumps(report.to_payload()))
+        assert doc["completed"] == 2
+        assert doc["control"]["policy"] == "random"
+        assert len(doc["jobs"]) == 2
+
+    def test_render_mentions_margin(self):
+        report = run_service(
+            table3_requests(2), ServiceConfig(**TINY), control=True
+        )
+        text = report.render()
+        assert "policy=smart" in text
+        assert "paper: +3.72" in text

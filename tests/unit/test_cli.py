@@ -60,16 +60,16 @@ class TestVersionAndList:
 
 class TestAllFailureHandling:
     def test_all_reports_succeeded_before_failure(self, capsys, monkeypatch):
-        import repro.cli as cli
+        import repro.api.facade as facade
 
-        real_render = cli._render
+        real_render = facade.render_experiment
 
         def flaky(exp_id, scale):
             if exp_id == "tab3":
                 raise RuntimeError("injected")
             return real_render(exp_id, scale)
 
-        monkeypatch.setattr(cli, "_render", flaky)
+        monkeypatch.setattr(facade, "render_experiment", flaky)
         assert main(["all"]) == 1
         captured = capsys.readouterr()
         assert "[tab3] FAILED: RuntimeError: injected" in captured.err
@@ -77,22 +77,22 @@ class TestAllFailureHandling:
         assert "--debug" in captured.err
 
     def test_debug_reraises(self, monkeypatch):
-        import repro.cli as cli
+        import repro.api.facade as facade
 
         def boom(exp_id, scale):
             raise RuntimeError("injected")
 
-        monkeypatch.setattr(cli, "_render", boom)
+        monkeypatch.setattr(facade, "render_experiment", boom)
         with pytest.raises(RuntimeError, match="injected"):
             main(["all", "--debug"])
 
     def test_single_experiment_failure_exits_nonzero(self, capsys, monkeypatch):
-        import repro.cli as cli
+        import repro.api.facade as facade
 
         def boom(exp_id, scale):
             raise ValueError("bad")
 
-        monkeypatch.setattr(cli, "_render", boom)
+        monkeypatch.setattr(facade, "render_experiment", boom)
         assert main(["tab4"]) == 1
         err = capsys.readouterr().err
         assert "[tab4] FAILED: ValueError: bad" in err
@@ -116,13 +116,13 @@ class TestTelemetry:
 
     def test_failed_run_still_writes_artifact(self, tmp_path, capsys,
                                               monkeypatch):
-        import repro.cli as cli
+        import repro.api.facade as facade
         from repro.obs import load_run
 
         def boom(exp_id, scale):
             raise RuntimeError("injected")
 
-        monkeypatch.setattr(cli, "_render", boom)
+        monkeypatch.setattr(facade, "render_experiment", boom)
         out = tmp_path / "out"
         assert main(["tab4", "--telemetry", str(out)]) == 1
         art = load_run(out / "run.json")
@@ -130,14 +130,14 @@ class TestTelemetry:
 
     def test_all_uses_per_experiment_subdirs(self, tmp_path, capsys,
                                              monkeypatch):
-        import repro.cli as cli
+        import repro.api.facade as facade
 
         def tiny(exp_id, scale):
             if exp_id not in ("tab1", "tab2"):
                 raise RuntimeError("skip the slow ones")
             return "ok"
 
-        monkeypatch.setattr(cli, "_render", tiny)
+        monkeypatch.setattr(facade, "render_experiment", tiny)
         out = tmp_path / "out"
         main(["all", "--telemetry", str(out)])
         assert (out / "tab1" / "run.json").exists()
