@@ -270,6 +270,9 @@ def serve(
     resume: bool = False,
     telemetry_dir: str | Path | None = None,
     settings: Settings | None = None,
+    slo_spec: str | Path | None = None,
+    metrics_out: str | Path | None = None,
+    metrics_interval: float | None = None,
 ) -> ServiceReport:
     """Run one synchronous pass of the transcoding job service.
 
@@ -279,37 +282,80 @@ def serve(
     the serving-mode smart-vs-random margin. With ``telemetry_dir`` the
     pass runs under a telemetry session and exports run artifacts with
     ``experiment: "serve"``.
+
+    Observability knobs (CLI flag > ``settings`` > off):
+
+    - ``slo_spec`` — a JSON SLO spec (see :mod:`repro.obs.slo`); the
+      evaluated report lands in ``run.json``'s ``slo`` section (with
+      ``telemetry_dir``) and in each metrics snapshot.
+    - ``metrics_out`` — a directory that receives live ``metrics.prom``
+      / ``slo.json`` snapshots every ``metrics_interval`` seconds while
+      the service drains (plus a final flush).
     """
     if settings is not None:
         settings.apply()
-    if telemetry_dir is None:
+        if slo_spec is None:
+            slo_spec = settings.slo_spec
+        if metrics_out is None:
+            metrics_out = settings.metrics_out
+        if metrics_interval is None:
+            metrics_interval = settings.metrics_interval
+    if metrics_interval is None:
+        metrics_interval = 30.0
+    if telemetry_dir is None and slo_spec is None and metrics_out is None:
         return run_service(
             requests, config, control=control, resume=resume
         )
 
-    from repro.obs import current, export_session, telemetry_session
+    from repro.obs import (
+        MetricsSnapshotter,
+        current,
+        evaluate_slo,
+        export_session,
+        load_slo_spec,
+        telemetry_session,
+    )
 
+    spec = load_slo_spec(slo_spec) if slo_spec is not None else None
     # Nested sessions are not allowed; reuse an active one (tests often
     # run the facade inside their own session).
     session_cm = nullcontext(current()) if current() else telemetry_session()
     t0 = time.perf_counter()
     status = "ok"
     with session_cm as tel:
-        try:
-            report = run_service(
-                requests, config, control=control, resume=resume
+        snap_cm = (
+            MetricsSnapshotter(
+                tel.metrics,
+                metrics_out,
+                interval_s=metrics_interval,
+                slo_spec=spec,
             )
+            if metrics_out is not None
+            else nullcontext()
+        )
+        try:
+            with snap_cm:
+                report = run_service(
+                    requests, config, control=control, resume=resume
+                )
         except Exception:
             status = "failed"
             raise
         finally:
-            paths = export_session(
-                tel,
-                telemetry_dir,
-                experiment="serve",
-                scale=(config or ServiceConfig()).policy,
-                wall_seconds=time.perf_counter() - t0,
-                status=status,
+            slo_payload = (
+                evaluate_slo(spec, tel.metrics.as_dict()).to_payload()
+                if spec is not None
+                else None
             )
-            print(f"[serve] telemetry: {paths['run']}", file=sys.stderr)
+            if telemetry_dir is not None:
+                paths = export_session(
+                    tel,
+                    telemetry_dir,
+                    experiment="serve",
+                    scale=(config or ServiceConfig()).policy,
+                    wall_seconds=time.perf_counter() - t0,
+                    status=status,
+                    slo=slo_payload,
+                )
+                print(f"[serve] telemetry: {paths['run']}", file=sys.stderr)
     return report

@@ -36,6 +36,9 @@ ENV_VARS = {
     "REPRO_RESUME": "resume",
     "REPRO_CHECKPOINT_DIR": "checkpoint_dir",
     "REPRO_RETRY_*": "retry",
+    "REPRO_SLO_SPEC": "slo_spec",
+    "REPRO_METRICS_OUT": "metrics_out",
+    "REPRO_METRICS_INTERVAL": "metrics_interval",
 }
 
 _TRUTHY = ("1", "true", "yes", "on")
@@ -58,6 +61,9 @@ class Settings:
     fault_plan: str | None = None
     resume: bool = False
     checkpoint_dir: Path | None = None
+    slo_spec: Path | None = None
+    metrics_out: Path | None = None
+    metrics_interval: float = 30.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -100,6 +106,18 @@ class Settings:
         ckpt_raw = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
         if ckpt_raw:
             kwargs["checkpoint_dir"] = Path(ckpt_raw)
+        slo_raw = os.environ.get("REPRO_SLO_SPEC", "").strip()
+        if slo_raw:
+            kwargs["slo_spec"] = Path(slo_raw)
+        mout_raw = os.environ.get("REPRO_METRICS_OUT", "").strip()
+        if mout_raw:
+            kwargs["metrics_out"] = Path(mout_raw)
+        mint_raw = os.environ.get("REPRO_METRICS_INTERVAL", "").strip()
+        if mint_raw:
+            try:
+                kwargs["metrics_interval"] = float(mint_raw)
+            except ValueError:
+                pass
         kwargs["retry"] = RetryPolicy.from_env()
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -115,6 +133,9 @@ class Settings:
         fault_plan: str | None = None,
         resume: bool | None = None,
         checkpoint_dir: str | Path | None = None,
+        slo_spec: str | Path | None = None,
+        metrics_out: str | Path | None = None,
+        metrics_interval: float | None = None,
     ) -> "Settings":
         """Resolve CLI flags over the environment over the defaults.
 
@@ -140,6 +161,12 @@ class Settings:
             updates["resume"] = bool(resume)
         if checkpoint_dir is not None:
             updates["checkpoint_dir"] = Path(checkpoint_dir)
+        if slo_spec is not None:
+            updates["slo_spec"] = Path(slo_spec)
+        if metrics_out is not None:
+            updates["metrics_out"] = Path(metrics_out)
+        if metrics_interval is not None:
+            updates["metrics_interval"] = float(metrics_interval)
         return replace(settings, **updates) if updates else settings  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------

@@ -178,6 +178,10 @@ class JobStatus:
     worker: str | None = None
     error: str | None = None
     result: TranscodeResult | None = field(default=None, repr=False)
+    trace_id: str | None = None
+    #: Per-stage wall-clock seconds (queue_wait_s, placement_s,
+    #: encode_s, retry_overhead_s, e2e_s), filled as the job progresses.
+    timings: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -205,4 +209,6 @@ class JobStatus:
             "worker": self.worker,
             "error": self.error,
             "result": None if self.result is None else self.result.to_payload(),
+            "trace_id": self.trace_id,
+            "timings": dict(self.timings),
         }

@@ -15,6 +15,8 @@ Examples::
     repro cache clear --cache-dir .cache/
     repro report out/run.json         # render a telemetry artifact
     repro report --diff a/run.json b/run.json
+    repro report out/run.json --timeline 3      # one job's flame graph
+    repro slo check out/run.json --spec examples/slo/serve.json
     repro bench                       # benchmark kernels + fig3 slice
     repro bench --compare BENCH_baseline.json   # CI regression gate
     repro submit cricket --crf 30 --spool .repro/spool.jsonl
@@ -25,8 +27,9 @@ Every flag falls back to its environment variable with one documented
 precedence order — **CLI flag > environment > default** — implemented by
 :class:`repro.api.Settings` (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
 ``REPRO_KERNELS``, ``REPRO_FAULT_PLAN``, ``REPRO_RESUME``,
-``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``). Subcommands read only the
-resolved ``Settings``; nothing else consults the environment.
+``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``, ``REPRO_SLO_SPEC``,
+``REPRO_METRICS_OUT``, ``REPRO_METRICS_INTERVAL``). Subcommands read
+only the resolved ``Settings``; nothing else consults the environment.
 
 A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
@@ -36,7 +39,12 @@ list under ``--telemetry``), and the process exits with code 3.
 ``repro serve`` runs the long-lived transcoding job service over a
 request spool (``repro submit`` appends to it) or the built-in Table III
 mix, places jobs with the smart (or random-control) policy, and exits 1
-if any job finished ``failed``. ``repro bench`` keeps its historical
+if any job finished ``failed``. With ``--slo SPEC.json`` the run is
+evaluated against a declarative SLO spec (the verdict lands in
+``run.json``); with ``--metrics-out DIR`` live Prometheus-text metric
+snapshots are written while the service drains. ``repro slo check
+RUN.json --spec SPEC.json`` re-evaluates an exported artifact and exits
+2 on breach (the CI gate). ``repro bench`` keeps its historical
 behaviour (exit 4 on regression vs. the baseline artifact).
 """
 
@@ -178,9 +186,22 @@ def _report_main(argv: list[str]) -> int:
         action="store_true",
         help="compare two artifacts metric by metric",
     )
+    parser.add_argument(
+        "--timeline",
+        metavar="JOB_ID",
+        default=None,
+        help="render one service job's span tree from the events.jsonl "
+             "next to the artifact (flame graph in text form)",
+    )
     args = parser.parse_args(argv)
 
-    from repro.obs import diff_runs, load_run, render_run
+    from repro.obs import (
+        diff_runs,
+        load_run,
+        read_events_jsonl,
+        render_run,
+        render_timeline,
+    )
 
     try:
         if args.diff:
@@ -188,6 +209,17 @@ def _report_main(argv: list[str]) -> int:
                 parser.error("--diff needs exactly two run.json paths")
             print(diff_runs(load_run(args.artifacts[0]),
                             load_run(args.artifacts[1])))
+        elif args.timeline is not None:
+            if len(args.artifacts) != 1:
+                parser.error("--timeline needs exactly one run.json path")
+            artifact = Path(args.artifacts[0])
+            events = (artifact if artifact.name.endswith(".jsonl")
+                      else artifact.parent / "events.jsonl")
+            if not events.exists():
+                print(f"repro report: no event stream at {events}",
+                      file=sys.stderr)
+                return 1
+            print(render_timeline(read_events_jsonl(events), args.timeline))
         else:
             for i, path in enumerate(args.artifacts):
                 if i:
@@ -197,6 +229,37 @@ def _report_main(argv: list[str]) -> int:
         print(f"repro report: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _slo_main(argv: list[str]) -> int:
+    """``repro slo check``: evaluate a run artifact against an SLO spec."""
+    parser = argparse.ArgumentParser(
+        prog="repro slo",
+        description="Evaluate telemetry artifacts against declarative "
+                    "service-level objectives.",
+    )
+    parser.add_argument("action", choices=("check",))
+    parser.add_argument("artifact", metavar="run.json",
+                        help="telemetry artifact to evaluate")
+    parser.add_argument("--spec", metavar="SPEC.json", default=None,
+                        help="SLO spec file (default: $REPRO_SLO_SPEC)")
+    args = parser.parse_args(argv)
+
+    from repro.api import Settings
+    from repro.obs import evaluate_slo, load_run, load_slo_spec
+
+    spec_path = args.spec or Settings.from_env().slo_spec
+    if spec_path is None:
+        parser.error("no SLO spec: pass --spec or set REPRO_SLO_SPEC")
+    try:
+        spec = load_slo_spec(spec_path)
+        run = load_run(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"repro slo: {exc}", file=sys.stderr)
+        return 1
+    report = evaluate_slo(spec, run.get("metrics") or {})
+    print(report.render())
+    return 0 if report.ok else 2
 
 
 def _submit_main(argv: list[str]) -> int:
@@ -304,6 +367,18 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="where to write jobs.json (default: the "
                              "--telemetry directory, else nowhere)")
+    parser.add_argument("--slo", metavar="SPEC.json", default=None,
+                        help="evaluate the run against this SLO spec; the "
+                             "verdict lands in run.json and each metrics "
+                             "snapshot (default: $REPRO_SLO_SPEC)")
+    parser.add_argument("--metrics-out", metavar="DIR", default=None,
+                        help="write live metrics.prom / slo.json snapshots "
+                             "into DIR while the service runs "
+                             "(default: $REPRO_METRICS_OUT)")
+    parser.add_argument("--metrics-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="snapshot interval for --metrics-out "
+                             "(default: $REPRO_METRICS_INTERVAL, else 30)")
     args = parser.parse_args(argv)
 
     from repro.api import ServiceConfig, Settings, serve, table3_requests
@@ -313,6 +388,9 @@ def _serve_main(argv: list[str]) -> int:
         settings = Settings.resolve(
             fault_plan=args.fault_plan,
             resume=True if args.resume else None,
+            slo_spec=args.slo,
+            metrics_out=args.metrics_out,
+            metrics_interval=args.metrics_interval,
         ).apply()
     except ValueError as exc:
         parser.error(str(exc))
@@ -350,13 +428,20 @@ def _serve_main(argv: list[str]) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    report = serve(
-        requests,
-        config,
-        control=not args.no_control,
-        resume=settings.resume,
-        telemetry_dir=args.telemetry,
-    )
+    try:
+        report = serve(
+            requests,
+            config,
+            control=not args.no_control,
+            resume=settings.resume,
+            telemetry_dir=args.telemetry,
+            slo_spec=settings.slo_spec,
+            metrics_out=settings.metrics_out,
+            metrics_interval=settings.metrics_interval,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 1
     print(report.render())
 
     out_dir = args.out or args.telemetry
@@ -388,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv[:1] == ["submit"]:
         return _submit_main(argv[1:])
+    if argv[:1] == ["slo"]:
+        return _slo_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -399,7 +486,9 @@ def main(argv: list[str] | None = None) -> int:
                "`repro bench [--compare BASELINE.json]` benchmarks the "
                "codec kernels and the fig3 slice; `repro submit CLIP` "
                "queues a job and `repro serve` runs the transcoding job "
-               "service over the queue.",
+               "service over the queue; `repro slo check RUN.json --spec "
+               "SPEC.json` gates an exported run on its SLOs (exit 2 on "
+               "breach).",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"

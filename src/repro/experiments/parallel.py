@@ -10,11 +10,14 @@ Two invariants make the fan-out safe:
   order — so a parallel sweep returns bit-identical records in the same
   order as ``--jobs 1`` (asserted by
   ``tests/integration/test_parallel_determinism.py``).
-- **Telemetry merge.** Each worker opens its own telemetry session,
-  ships its metrics registry state back alongside the result, and the
-  parent folds it in via :func:`repro.obs.session.merge_worker_metrics`;
-  counters and histograms in ``run.json`` therefore aggregate the whole
-  fan-out exactly as a serial run would.
+- **Telemetry merge.** Each worker opens its own telemetry session
+  *under the parent's trace context* (propagated alongside the payload),
+  ships its full exported state — metrics registry *and* span tree —
+  back with the result, and the parent folds it in via
+  :func:`repro.obs.session.merge_worker_state`: counters and histograms
+  in ``run.json`` aggregate the whole fan-out exactly as a serial run
+  would, and worker spans are re-parented under the ``parallel.fan_out``
+  span so the Chrome-trace export shows one cross-process flame graph.
 
 A third invariant was added with the resilience layer:
 
@@ -47,6 +50,7 @@ from typing import TypeVar
 from repro import resilience
 from repro.experiments.cache import ResultCache
 from repro.obs import session as obs
+from repro.obs.spans import TraceContext
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy
 
@@ -150,10 +154,13 @@ class TaskOutcome:
 
 
 def _run_isolated(
-    compute: Callable[[_P], _R], index: int, payload: _P
+    compute: Callable[[_P], _R], index: int, payload: _P,
+    ctx: dict[str, object] | None = None,
 ) -> tuple[_R, dict[str, object]]:
     """Worker-side wrapper: run ``compute`` under a fresh telemetry
-    session and return (result, exported metrics state).
+    session — threaded onto the parent's trace via ``ctx`` (a serialized
+    :class:`~repro.obs.spans.TraceContext`) — and return (result,
+    exported session state: metrics + finished spans).
 
     Fault call-indices reset per task (activation caps persist for the
     process) so an installed plan activates at deterministic points no
@@ -163,10 +170,12 @@ def _run_isolated(
     """
     obs.reset_for_subprocess()  # drop any session inherited across fork
     faults.reset_counters(activations=False)
-    with obs.telemetry_session() as tel:
-        faults.fault_point("worker.task", detail=str(index))
-        result = compute(payload)
-    return result, tel.metrics.export_state()
+    trace = TraceContext.from_dict(ctx) if ctx is not None else None
+    with obs.telemetry_session(trace) as tel:
+        with obs.span("worker.task", task=index):
+            faults.fault_point("worker.task", detail=str(index))
+            result = compute(payload)
+    return result, tel.export_state()
 
 
 def run_tasks(
@@ -263,7 +272,7 @@ def run_tasks(
             suspects.append(i)
 
     def complete(i: int, result: _R, state: dict[str, object]) -> None:
-        obs.merge_worker_metrics(state)
+        obs.merge_worker_state(state)
         outcomes[i] = TaskOutcome(i, result, None, pending.pop(i) + 1)
         if on_result is not None:
             on_result(i, result)
@@ -276,6 +285,9 @@ def run_tasks(
     with obs.span(
         "parallel.fan_out", label=label, jobs=workers, tasks=len(payloads)
     ) as sp:
+        # Captured *inside* the span so worker trees re-parent under it.
+        ctx = obs.current_trace_context()
+        ctx_dict = ctx.as_dict() if ctx is not None else None
         while pending:
             while suspects:
                 i = suspects.popleft()
@@ -285,7 +297,7 @@ def run_tasks(
                 try:
                     with ProcessPoolExecutor(max_workers=1) as solo:
                         result, state = solo.submit(
-                            _run_isolated, compute, i, payloads[i]
+                            _run_isolated, compute, i, payloads[i], ctx_dict
                         ).result()
                 except BrokenExecutor as exc:
                     pool_restarts += 1
@@ -325,7 +337,8 @@ def run_tasks(
                         i = to_submit.popleft()
                         try:
                             fut = pool.submit(
-                                _run_isolated, compute, i, payloads[i]
+                                _run_isolated, compute, i, payloads[i],
+                                ctx_dict,
                             )
                         except (BrokenExecutor, RuntimeError):
                             broken = True

@@ -1,12 +1,20 @@
-"""Telemetry subsystem: spans, metrics, and machine-readable run artifacts.
+"""Telemetry subsystem: traces, metrics, SLOs, and run artifacts.
 
-The observability layer for the encode → simulate → schedule pipeline.
-Three pieces:
+The observability layer for the encode → simulate → schedule pipeline
+and the job service on top of it. Five pieces:
 
-- :mod:`repro.obs.spans` — nested wall-clock spans with attributes;
-- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+- :mod:`repro.obs.spans` — nested wall-clock spans with attributes,
+  plus the :class:`~repro.obs.spans.TraceContext` that threads a trace
+  across process boundaries (worker span trees are re-parented into the
+  parent session on merge);
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  all optionally labeled (Prometheus-style series);
+- :mod:`repro.obs.slo` — declarative service-level objectives evaluated
+  against live registries or exported ``run.json`` metrics;
+- :mod:`repro.obs.expose` — Prometheus text rendering and the interval
+  snapshotter behind ``repro serve --metrics-out``;
 - :mod:`repro.obs.export` — JSONL event stream, Chrome trace, and the
-  validated ``run.json`` artifact (plus rendering/diffing for
+  validated ``run.json`` artifact (plus rendering/diffing/timelines for
   ``repro report``).
 
 Instrumented code uses only the cheap front-door helpers re-exported
@@ -18,24 +26,35 @@ exports its artifacts — see the README's "Telemetry & run artifacts"
 section for the schema.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    label_key,
+    latency_buckets,
+    parse_label_key,
+)
 from repro.obs.session import (
+    NestedSessionError,
     Telemetry,
     current,
+    current_trace_context,
     enabled,
     inc,
     merge_worker_metrics,
+    merge_worker_state,
     observe,
     reset_for_subprocess,
     set_gauge,
     span,
     telemetry_session,
 )
-from repro.obs.spans import SpanRecord, SpanRecorder
+from repro.obs.spans import SpanRecord, SpanRecorder, TraceContext
 
-#: Exporter symbols resolved lazily (PEP 562): the hot modules import
-#: `repro.obs.session` at startup, and that must not drag in the
-#: exporter's subprocess/json machinery on the untelemetered path.
+#: Exporter/SLO/exposition symbols resolved lazily (PEP 562): the hot
+#: modules import `repro.obs.session` at startup, and that must not drag
+#: in the exporter's subprocess/json machinery on the untelemetered path.
 _EXPORT_SYMBOLS = frozenset({
     "RUN_SCHEMA",
     "SCHEMA_VERSION",
@@ -46,9 +65,23 @@ _EXPORT_SYMBOLS = frozenset({
     "load_run",
     "read_events_jsonl",
     "render_run",
+    "render_timeline",
     "validate_run",
     "write_events_jsonl",
     "git_revision",
+})
+
+_SLO_SYMBOLS = frozenset({
+    "SloObjective",
+    "SloReport",
+    "SloSpec",
+    "evaluate_slo",
+    "load_slo_spec",
+})
+
+_EXPOSE_SYMBOLS = frozenset({
+    "MetricsSnapshotter",
+    "render_prometheus",
 })
 
 
@@ -57,6 +90,14 @@ def __getattr__(name: str):
         from repro.obs import export
 
         return getattr(export, name)
+    if name in _SLO_SYMBOLS:
+        from repro.obs import slo
+
+        return getattr(slo, name)
+    if name in _EXPOSE_SYMBOLS:
+        from repro.obs import expose
+
+        return getattr(expose, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -66,21 +107,36 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSnapshotter",
+    "NestedSessionError",
+    "SloObjective",
+    "SloReport",
+    "SloSpec",
     "SpanRecord",
     "SpanRecorder",
     "Telemetry",
+    "TraceContext",
     "build_run_artifact",
     "chrome_trace",
     "current",
+    "current_trace_context",
     "diff_runs",
     "enabled",
+    "evaluate_slo",
     "export_session",
     "inc",
+    "label_key",
+    "latency_buckets",
     "load_run",
+    "load_slo_spec",
     "merge_worker_metrics",
+    "merge_worker_state",
     "observe",
+    "parse_label_key",
     "read_events_jsonl",
+    "render_prometheus",
     "render_run",
+    "render_timeline",
     "reset_for_subprocess",
     "set_gauge",
     "span",

@@ -25,6 +25,7 @@ import time
 from pathlib import Path
 
 from repro._util import format_table
+from repro.obs.metrics import parse_label_key
 from repro.obs.session import Telemetry
 from repro.obs.spans import SpanRecord
 
@@ -39,6 +40,7 @@ __all__ = [
     "write_events_jsonl",
     "read_events_jsonl",
     "render_run",
+    "render_timeline",
     "diff_runs",
     "git_revision",
 ]
@@ -63,6 +65,10 @@ RUN_SCHEMA: dict[str, tuple[bool, tuple[type, ...], str]] = {
     "failures": (False, (list,), "per-cell failure summaries of a partial "
                                  "sweep (video, crf, refs, preset, error, "
                                  "attempts)"),
+    "slo": (False, (dict,), "evaluated SLO report (spec name, ok, breached "
+                            "objectives, per-objective burn rates)"),
+    "trace_id": (False, (str,), "the session's trace id (links run.json to "
+                                "its events.jsonl / trace.json spans)"),
 }
 
 
@@ -87,20 +93,43 @@ def git_revision() -> str:
 # ----------------------------------------------------------------------
 
 def chrome_trace(records: list[SpanRecord]) -> dict[str, object]:
-    """Span records as a Chrome trace-event document (complete events)."""
-    events = [
+    """Span records as a Chrome trace-event document (complete events).
+
+    Spans carrying a ``job`` attribute land on a per-job thread lane
+    (named ``job N`` via thread-name metadata events), so a service
+    run's flame graph separates into one complete submit→encode track
+    per job; everything else shares lane 0.
+    """
+    events: list[dict[str, object]] = []
+    job_tids: dict[object, int] = {}
+    for r in sorted(records, key=lambda r: (r.start_ns, r.depth)):
+        job = r.attrs.get("job")
+        if job is None:
+            tid = 0
+        else:
+            tid = job_tids.setdefault(job, len(job_tids) + 1)
+        events.append(
+            {
+                "name": r.name,
+                "ph": "X",
+                "ts": r.start_ns / 1000.0,  # trace-event timestamps are µs
+                "dur": r.duration_ns / 1000.0,
+                "pid": 1,
+                "tid": tid,
+                "args": {k: _jsonable(v) for k, v in r.attrs.items()},
+            }
+        )
+    meta: list[dict[str, object]] = [
         {
-            "name": r.name,
-            "ph": "X",
-            "ts": r.start_ns / 1000.0,  # trace-event timestamps are µs
-            "dur": r.duration_ns / 1000.0,
+            "name": "thread_name",
+            "ph": "M",
             "pid": 1,
-            "tid": 1,
-            "args": {k: _jsonable(v) for k, v in r.attrs.items()},
+            "tid": tid,
+            "args": {"name": f"job {job}"},
         }
-        for r in sorted(records, key=lambda r: (r.start_ns, r.depth))
+        for job, tid in job_tids.items()
     ]
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def _jsonable(v: object) -> object:
@@ -137,8 +166,14 @@ def build_run_artifact(
     wall_seconds: float,
     status: str = "ok",
     failures: list[dict[str, object]] | None = None,
+    slo: dict[str, object] | None = None,
 ) -> dict[str, object]:
-    """Assemble the ``run.json`` document from a finished session."""
+    """Assemble the ``run.json`` document from a finished session.
+
+    ``slo``, when given, is an evaluated
+    :meth:`repro.obs.slo.SloReport.to_payload` embedded verbatim as the
+    artifact's ``slo`` section.
+    """
     metrics = telemetry.metrics.as_dict()
     topdown = {
         name.split(".", 1)[1]: snap["mean"]
@@ -157,9 +192,12 @@ def build_run_artifact(
         "topdown": topdown,
         "spans": telemetry.spans.totals(),
         "meta": {k: _jsonable(v) for k, v in telemetry.meta.items()},
+        "trace_id": telemetry.trace_id,
     }
     if failures is not None:
         artifact["failures"] = list(failures)
+    if slo is not None:
+        artifact["slo"] = dict(slo)
     validate_run(artifact)
     return artifact
 
@@ -204,6 +242,7 @@ def export_session(
     wall_seconds: float,
     status: str = "ok",
     failures: list[dict[str, object]] | None = None,
+    slo: dict[str, object] | None = None,
 ) -> dict[str, Path]:
     """Write run.json + events.jsonl + trace.json into ``out_dir``."""
     out = Path(out_dir)
@@ -215,6 +254,7 @@ def export_session(
         wall_seconds=wall_seconds,
         status=status,
         failures=failures,
+        slo=slo,
     )
     paths = {
         "run": out / "run.json",
@@ -272,6 +312,16 @@ def render_run(artifact: dict[str, object]) -> str:
         rows = [[k, v] for k, v in sorted(topdown.items())]
         parts.append("\ntopdown (mean % of slots):\n"
                      + format_table(["slot", "%"], rows, floatfmt=".2f"))
+    latency = _stage_latency_rows(artifact)
+    if latency:
+        parts.append("\nstage latency (per config):\n"
+                     + format_table(
+                         ["stage", "config", "count", "p50 s", "p90 s",
+                          "p99 s"],
+                         latency, floatfmt=".4g"))
+    slo = artifact.get("slo")
+    if isinstance(slo, dict):
+        parts.append("\nslo:\n" + _render_slo_section(slo))
     flat = _flatten_metrics(artifact)
     rows = [[k, v] for k, v in sorted(flat.items())]
     parts.append("\nmetrics:\n" + format_table(["metric", "value"], rows,
@@ -284,6 +334,92 @@ def render_run(artifact: dict[str, object]) -> str:
                      + format_table(["span", "calls", "total s"], rows,
                                     floatfmt=".4g"))
     return "\n".join(parts)
+
+
+def _stage_latency_rows(artifact: dict[str, object]) -> list[list[object]]:
+    """Rows for the per-config stage-latency table: every labeled
+    histogram series carrying a ``stage`` label, grouped by stage then by
+    the remaining labels (config, policy, ...)."""
+    rows: list[list[object]] = []
+    for key, snap in sorted(artifact["metrics"].items()):  # type: ignore[union-attr]
+        if not isinstance(snap, dict) or "{" not in key:
+            continue
+        _name, labels = parse_label_key(key)
+        stage = labels.pop("stage", None)
+        if stage is None:
+            continue
+        config = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        rows.append([
+            stage, config or "-", snap.get("count", 0),
+            snap.get("p50", 0.0), snap.get("p90", 0.0),
+            snap.get("p99", 0.0),
+        ])
+    return rows
+
+
+def _render_slo_section(slo: dict[str, object]) -> str:
+    """The embedded SLO report as a verdict line plus objective table."""
+    verdict = "OK" if slo.get("ok") else (
+        "BREACHED: " + ", ".join(str(n) for n in slo.get("breached") or []))
+    rows = [
+        [obj.get("name", "?"), obj.get("kind", "?"),
+         "pass" if obj.get("ok") else "FAIL",
+         obj.get("actual", 0.0), obj.get("target", 0.0),
+         obj.get("burn_rate", 0.0)]
+        for obj in slo.get("objectives") or []
+    ]
+    table = format_table(
+        ["objective", "kind", "verdict", "actual", "target", "burn"],
+        rows, floatfmt=".4g")
+    return f"spec: {slo.get('spec', '?')}  [{verdict}]\n{table}"
+
+
+def render_timeline(records: list[dict[str, object]], job: object) -> str:
+    """Per-job flame graph in text form, from ``events.jsonl`` rows.
+
+    Selects the spans belonging to ``job`` — those whose ``job``
+    attribute matches, plus their ancestors (the submit/round scaffolding
+    they hang under) — and renders them as a depth-indented tree with
+    millisecond offsets relative to the earliest selected span.
+    """
+    job_str = str(job)
+    spans = [r for r in records if r.get("kind", "span") == "span"]
+    by_id = {int(r["span_id"]): r for r in spans}  # type: ignore[arg-type]
+    selected: set[int] = set()
+    for r in spans:
+        attrs = r.get("attrs") or {}
+        if str(attrs.get("job")) != job_str:  # type: ignore[union-attr]
+            continue
+        sid: int | None = int(r["span_id"])  # type: ignore[arg-type]
+        while sid is not None and sid not in selected:
+            selected.add(sid)
+            parent = by_id[sid].get("parent_id")
+            sid = int(parent) if parent is not None else None
+            if sid is not None and sid not in by_id:
+                break
+    if not selected:
+        return f"no spans found for job {job_str}"
+    chosen = sorted(
+        (by_id[sid] for sid in selected),
+        key=lambda r: (int(r["start_ns"]), int(r.get("depth", 0))),  # type: ignore[arg-type]
+    )
+    t0 = min(int(r["start_ns"]) for r in chosen)  # type: ignore[arg-type]
+    lines = [f"timeline for job {job_str} ({len(chosen)} spans):"]
+    for r in chosen:
+        depth = int(r.get("depth", 0))  # type: ignore[arg-type]
+        start_ms = (int(r["start_ns"]) - t0) / 1e6  # type: ignore[arg-type]
+        dur_ms = (int(r["end_ns"]) - int(r["start_ns"])) / 1e6  # type: ignore[arg-type]
+        attrs = r.get("attrs") or {}
+        extras = " ".join(
+            f"{k}={v}" for k, v in sorted(attrs.items())  # type: ignore[union-attr]
+            if k not in ("job",) and isinstance(v, (str, int, float, bool))
+        )
+        tail = f"  [{extras}]" if extras else ""
+        lines.append(
+            f"  {'  ' * depth}{r['name']:<24s} "
+            f"+{start_ms:9.3f}ms  {dur_ms:9.3f}ms{tail}"
+        )
+    return "\n".join(lines)
 
 
 def diff_runs(a: dict[str, object], b: dict[str, object]) -> str:
@@ -307,4 +443,41 @@ def diff_runs(a: dict[str, object], b: dict[str, object]) -> str:
         rows.append([name, format(va, ".4g"), format(vb, ".4g"),
                      format(delta, "+.4g"), pct])
     table = format_table(["metric", "a", "b", "delta", "delta %"], rows)
-    return head + "\n" + table
+    parts = [head, table]
+    la, lb = _stage_latency_rows(a), _stage_latency_rows(b)
+    if la or lb:
+        index_a = {(r[0], r[1]): r for r in la}
+        index_b = {(r[0], r[1]): r for r in lb}
+        rows = []
+        for key in sorted(set(index_a) | set(index_b)):
+            ra, rb = index_a.get(key), index_b.get(key)
+            p99a = format(ra[5], ".4g") if ra else "-"
+            p99b = format(rb[5], ".4g") if rb else "-"
+            delta = (format(rb[5] - ra[5], "+.4g")
+                     if ra and rb else "(only one run)")
+            rows.append([key[0], key[1], p99a, p99b, delta])
+        parts.append("stage latency p99 (per config):\n"
+                     + format_table(["stage", "config", "a", "b", "delta"],
+                                    rows))
+    sa, sb = a.get("slo"), b.get("slo")
+    if isinstance(sa, dict) or isinstance(sb, dict):
+        objs_a = {o.get("name"): o for o in
+                  (sa.get("objectives") if isinstance(sa, dict) else None)
+                  or []}
+        objs_b = {o.get("name"): o for o in
+                  (sb.get("objectives") if isinstance(sb, dict) else None)
+                  or []}
+        rows = []
+        for name in sorted(set(objs_a) | set(objs_b)):
+            oa, ob = objs_a.get(name), objs_b.get(name)
+
+            def _cell(o):
+                if o is None:
+                    return "-"
+                return ("pass" if o.get("ok") else "FAIL") \
+                    + f" (burn {format(float(o.get('burn_rate', 0.0)), '.3g')})"
+
+            rows.append([name, _cell(oa), _cell(ob)])
+        parts.append("slo objectives:\n"
+                     + format_table(["objective", "a", "b"], rows))
+    return "\n".join(parts)

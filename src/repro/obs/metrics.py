@@ -11,7 +11,16 @@ Histograms use fixed bucket bounds (default: log-spaced decades with
 magnitudes) and estimate percentiles by linear interpolation inside the
 bucket containing the requested rank — the classic Prometheus-style
 scheme, with exact min/max tracked alongside so the interpolation is
-clamped to observed values.
+clamped to observed values. Service-latency histograms should use the
+tighter :func:`latency_buckets` preset (µs → minutes), which keeps the
+interpolation error sub-bucket at serving timescales.
+
+Every metric kind optionally carries a **label dimension**: a small
+``{key: value}`` string map identifying one series of a metric family
+(``service.stage_latency_s{config="fe_op",stage="encode"}``). Labeled
+series are stored, snapshotted, exported, and merged under their
+Prometheus-style labeled key, so ``run.json`` and the worker→parent
+merge path handle them with no schema change.
 """
 
 from __future__ import annotations
@@ -19,7 +28,8 @@ from __future__ import annotations
 import math
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "default_buckets"]
+           "default_buckets", "label_key", "latency_buckets",
+           "parse_label_key"]
 
 
 def default_buckets() -> tuple[float, ...]:
@@ -31,16 +41,103 @@ def default_buckets() -> tuple[float, ...]:
     return tuple(bounds)
 
 
+def latency_buckets() -> tuple[float, ...]:
+    """Log-spaced 1-2-5 bucket upper bounds from 1 µs up to ~8 minutes.
+
+    The :func:`default_buckets` decade grid spans 18 orders of magnitude,
+    which leaves sub-second service latencies only ~3 buckets per decade
+    over the whole range it will realistically see — too coarse for
+    percentile targets at serving granularity. This preset covers the
+    serving range (microseconds to minutes) with the same 1-2-5
+    subdivision, so every stage-latency histogram resolves p99s at the
+    scale SLOs are written in.
+    """
+    bounds: list[float] = []
+    for exp in range(-6, 3):
+        for mant in (1.0, 2.0, 5.0):
+            bounds.append(mant * 10.0 ** exp)
+    return tuple(bounds)
+
+
 _DEFAULT_BUCKETS = default_buckets()
+
+
+# ----------------------------------------------------------------------
+# Labeled series keys (Prometheus-style).
+# ----------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def label_key(name: str, labels: dict[str, str] | None = None) -> str:
+    """The canonical series key for ``name`` + ``labels``.
+
+    Unlabeled metrics keep their bare name; labeled ones get the
+    Prometheus form ``name{k="v",...}`` with keys sorted, so the same
+    label set always maps to the same series regardless of call-site
+    ordering.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def parse_label_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`label_key`: split a series key into (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    if not rest.endswith("}"):
+        raise ValueError(f"malformed label key {key!r}")
+    labels: dict[str, str] = {}
+    body = rest[:-1]
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        label = body[i:eq]
+        if body[eq + 1] != '"':
+            raise ValueError(f"malformed label key {key!r}")
+        j = eq + 2
+        raw = []
+        while j < len(body):
+            ch = body[j]
+            if ch == "\\":
+                raw.append(body[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"malformed label key {key!r}")
+        labels[label] = _unescape_label_value("".join(raw))
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"malformed label key {key!r}")
+            i += 1
+    return name, labels
 
 
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 labels: dict[str, str] | None = None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
 
     def inc(self, n: float = 1.0) -> None:
@@ -55,10 +152,12 @@ class Counter:
 class Gauge:
     """Last-written value (queue depth, heap bytes, config knobs)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 labels: dict[str, str] | None = None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.value = 0.0
 
     def set(self, v: float) -> None:
@@ -83,15 +182,17 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "labels")
 
-    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None,
+                 labels: dict[str, str] | None = None):
         edges = tuple(bounds) if bounds is not None else _DEFAULT_BUCKETS
         if not edges:
             raise ValueError("histogram needs at least one bucket bound")
         if any(b >= a for b, a in zip(edges, edges[1:])):
             raise ValueError("histogram bounds must be strictly increasing")
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.bounds = edges
         self.bucket_counts = [0.0] * (len(edges) + 1)  # + overflow
         self.count = 0.0
@@ -148,6 +249,34 @@ class Histogram:
             cum += n
         return self.max
 
+    def fraction_below(self, threshold: float) -> float:
+        """Estimated fraction of observations ``<= threshold`` — the
+        "good events" ratio an SLO error budget is charged against.
+
+        Same interpolation scheme as :meth:`percentile`, clamped to the
+        observed range; an empty histogram reports 1.0 (no observation
+        has violated the objective yet).
+        """
+        if self.count == 0:
+            return 1.0
+        if threshold >= self.max:
+            return 1.0
+        if threshold < self.min:
+            return 0.0
+        below = 0.0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            lower = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            lower = max(lower, self.min)
+            upper = min(upper, self.max)
+            if threshold >= upper:
+                below += n
+            elif threshold > lower:
+                below += n * (threshold - lower) / (upper - lower)
+        return min(below / self.count, 1.0)
+
     def snapshot(self) -> dict[str, float]:
         if self.count == 0:
             return {"count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0,
@@ -172,6 +301,8 @@ class Histogram:
             "count": self.count,
             "sum": self.total,
         }
+        if self.labels:
+            state["labels"] = dict(self.labels)
         if self.count:
             state["min"] = self.min
             state["max"] = self.max
@@ -199,32 +330,50 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name → metric map with get-or-create accessors."""
+    """Series-key → metric map with get-or-create accessors.
+
+    Unlabeled metrics are keyed by their bare name (the historical
+    behaviour); labeled series are keyed by :func:`label_key`, so one
+    metric family fans out into one entry per label combination.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, cls, *args):
-        metric = self._metrics.get(name)
+    def _get(self, key: str, cls, factory):
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, *args)
-            self._metrics[name] = metric
+            metric = factory()
+            self._metrics[key] = metric
         elif not isinstance(metric, cls):
             raise TypeError(
-                f"metric {name!r} is a {type(metric).__name__}, "
+                f"metric {key!r} is a {type(metric).__name__}, "
                 f"not a {cls.__name__}"
             )
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str,
+                labels: dict[str, str] | None = None) -> Counter:
+        key = label_key(name, labels)
+        return self._get(key, Counter, lambda: Counter(name, labels))
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str,
+              labels: dict[str, str] | None = None) -> Gauge:
+        key = label_key(name, labels)
+        return self._get(key, Gauge, lambda: Gauge(name, labels))
 
     def histogram(self, name: str,
-                  bounds: tuple[float, ...] | None = None) -> Histogram:
-        return self._get(name, Histogram, bounds)
+                  bounds: tuple[float, ...] | None = None,
+                  labels: dict[str, str] | None = None) -> Histogram:
+        key = label_key(name, labels)
+        return self._get(key, Histogram,
+                         lambda: Histogram(name, bounds, labels))
+
+    def series(self, name: str) -> list[Counter | Gauge | Histogram]:
+        """Every series of the metric family ``name`` (labeled and not),
+        in sorted series-key order."""
+        return [self._metrics[key] for key in sorted(self._metrics)
+                if self._metrics[key].name == name]
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -262,11 +411,15 @@ class MetricsRegistry:
     def merge_state(self, state: dict[str, object]) -> None:
         """Fold an :meth:`export_state` payload (typically from a worker
         process) into this registry: counters add, gauges last-write-win,
-        histograms merge bucket-by-bucket."""
-        for name, value in state.get("counters", {}).items():  # type: ignore[union-attr]
-            self.counter(name).inc(value)
-        for name, value in state.get("gauges", {}).items():  # type: ignore[union-attr]
-            self.gauge(name).set(value)
-        for name, hist_state in state.get("histograms", {}).items():  # type: ignore[union-attr]
+        histograms merge bucket-by-bucket. Labeled series round-trip
+        through their series keys."""
+        for key, value in state.get("counters", {}).items():  # type: ignore[union-attr]
+            name, labels = parse_label_key(key)
+            self.counter(name, labels or None).inc(value)
+        for key, value in state.get("gauges", {}).items():  # type: ignore[union-attr]
+            name, labels = parse_label_key(key)
+            self.gauge(name, labels or None).set(value)
+        for key, hist_state in state.get("histograms", {}).items():  # type: ignore[union-attr]
+            name, labels = parse_label_key(key)
             bounds = tuple(hist_state["bounds"])
-            self.histogram(name, bounds).merge_state(hist_state)
+            self.histogram(name, bounds, labels or None).merge_state(hist_state)

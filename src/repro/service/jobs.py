@@ -40,6 +40,18 @@ class Job:
     error: str | None = None
     latency_cycles: float | None = None
     result: TranscodeResult | None = field(default=None, repr=False)
+    trace_id: str | None = None      # links the job to its span tree
+    #: Per-stage wall-clock seconds, accumulated across requeues
+    #: (queue_wait_s, placement_s, encode_s, retry_overhead_s, e2e_s).
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Transient perf-counter stamps (monotonic ns); never serialized —
+    #: a restored job simply restarts its clocks on readmission.
+    submitted_ns: int | None = field(default=None, repr=False, compare=False)
+    enqueued_ns: int | None = field(default=None, repr=False, compare=False)
+
+    def add_timing(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock time into ``stage``."""
+        self.timings[stage] = self.timings.get(stage, 0.0) + float(seconds)
 
     # -- lifecycle transitions -----------------------------------------
     def mark_running(self, worker: str) -> None:
@@ -86,6 +98,8 @@ class Job:
             worker=self.worker,
             error=self.error,
             result=self.result,
+            trace_id=self.trace_id,
+            timings=dict(self.timings),
         )
 
     # -- serde ---------------------------------------------------------
@@ -101,6 +115,8 @@ class Job:
             "error": self.error,
             "latency_cycles": self.latency_cycles,
             "result": None if self.result is None else self.result.to_payload(),
+            "trace_id": self.trace_id,
+            "timings": dict(self.timings),
         }
 
     @classmethod
@@ -117,4 +133,7 @@ class Job:
             error=payload.get("error"),
             latency_cycles=payload.get("latency_cycles"),
             result=None if result is None else TranscodeResult.from_payload(result),
+            trace_id=payload.get("trace_id"),
+            timings={k: float(v)
+                     for k, v in (payload.get("timings") or {}).items()},
         )

@@ -16,6 +16,7 @@ service re-runs only the unfinished jobs.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.api.types import JOB_QUEUED, JOB_RUNNING
@@ -58,6 +59,9 @@ class BoundedJobQueue:
                 f"queue at capacity ({self.capacity}); shed load or retry"
             )
         self._jobs[job.job_id] = job
+        now = time.perf_counter_ns()
+        job.submitted_ns = now   # e2e clock starts at first admission
+        job.enqueued_ns = now    # queue-wait clock, restamped on requeue
         self._observe_depth()
 
     def requeue(self, job: Job) -> None:
@@ -66,6 +70,7 @@ class BoundedJobQueue:
         an admission slot."""
         if job.job_id not in self._jobs:
             raise ValueError(f"job {job.job_id} was never admitted")
+        job.enqueued_ns = time.perf_counter_ns()
         obs.inc("service.requeues")
         self._observe_depth()
 

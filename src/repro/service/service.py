@@ -22,9 +22,16 @@ the job is re-placed on a different worker until its placement budget is
 spent. Queue state is checkpointed atomically after every round so a
 restarted service (``resume=True``) re-runs only unfinished jobs.
 
-Observability: per-job spans (``service.job``), queue-depth gauges,
-latency/speedup histograms, and per-policy summary gauges — all of which
-land in ``run.json`` when the caller runs under a telemetry session
+Observability: every job carries a ``trace_id`` and its spans
+(``service.submit`` → ``service.place`` → ``service.job`` →
+``worker.encode``) are tagged with the job id, so the Chrome-trace
+export lays each job out on its own lane and ``repro report --timeline
+JOB_ID`` renders its flame graph. Terminal jobs publish a wall-clock
+latency decomposition — labeled ``service.stage_latency_s`` histograms
+keyed by stage (queue_wait / placement / encode / retry_overhead / e2e),
+µarch config, and policy — plus deadline-miss counters, which is exactly
+the surface the SLO engine (:mod:`repro.obs.slo`) evaluates. All of it
+lands in ``run.json`` when the caller runs under a telemetry session
 (``repro serve --telemetry OUT/``).
 """
 
@@ -33,6 +40,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+import uuid
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
@@ -42,6 +51,7 @@ import numpy as np
 from repro import resilience
 from repro.api.types import JobStatus, TranscodeRequest, TranscodeResult
 from repro.obs import session as obs
+from repro.obs.metrics import latency_buckets
 from repro.profiling.counters import CounterSet
 from repro.resilience.retry import call_with_retry
 from repro.scheduling.task import TABLE_III_TASKS
@@ -233,7 +243,11 @@ class TranscodeService:
         """Admit one request; raises
         :class:`~repro.service.queue.QueueFullError` at capacity."""
         job = Job(job_id=self._next_id, request=request, seq=self._next_seq)
-        with obs.span("service.submit", job=job.job_id, clip=request.clip):
+        tel = obs.current()
+        base = tel.trace_id if tel is not None else uuid.uuid4().hex[:12]
+        job.trace_id = f"{base}-j{job.job_id}"
+        with obs.span("service.submit", job=job.job_id, clip=request.clip,
+                      trace=job.trace_id):
             self.queue.put(job)
         self._next_id += 1
         self._next_seq += 1
@@ -267,7 +281,15 @@ class TranscodeService:
                 counters = {
                     job.job_id: self._profile(job).counters for job in batch
                 }
-                placement = self.policy.place(batch, free, counters)
+                place_start = time.perf_counter_ns()
+                with obs.span("service.place", policy=self.policy.name,
+                              batch=len(batch)):
+                    placement = self.policy.place(batch, free, counters)
+                place_s = (time.perf_counter_ns() - place_start) / 1e9
+                for job in batch:
+                    # The placement decision is shared by the whole
+                    # batch; each member waited for all of it.
+                    job.add_timing("placement_s", place_s)
                 for job in batch:
                     worker = placement.get(job.job_id)
                     if worker is None:  # more jobs than free workers
@@ -277,9 +299,29 @@ class TranscodeService:
         return self.report()
 
     def _execute(self, job: Job, worker) -> None:
-        """Run one placed job, with in-place retries and crash isolation."""
+        """Run one placed job, with in-place retries and crash isolation.
+
+        Every execution attempt is individually timed: the successful
+        attempt's duration is the job's ``encode_s``, everything burned
+        before it (failed attempts on this worker) plus the whole budget
+        of a crashed placement counts as ``retry_overhead_s``.
+        """
         profiled = self._profile(job)
+        if job.enqueued_ns is not None:
+            job.add_timing(
+                "queue_wait_s",
+                (time.perf_counter_ns() - job.enqueued_ns) / 1e9,
+            )
         job.mark_running(worker.name)
+        attempt_s: list[float] = []
+
+        def _attempt() -> float:
+            start = time.perf_counter_ns()
+            try:
+                return worker.execute(job, profiled.stream, profiled.program)
+            finally:
+                attempt_s.append((time.perf_counter_ns() - start) / 1e9)
+
         with obs.span(
             "service.job",
             job=job.job_id,
@@ -288,19 +330,22 @@ class TranscodeService:
             config=worker.config_name,
             policy=self.policy.name,
             attempt=job.attempts,
+            trace=job.trace_id,
         ):
             try:
                 cycles = call_with_retry(
-                    lambda: worker.execute(
-                        job, profiled.stream, profiled.program
-                    ),
+                    _attempt,
                     policy=resilience.retry_policy(),
                     token=f"service.job.{job.job_id}",
                     label="service.worker",
                 )
             except Exception as exc:
+                job.add_timing("retry_overhead_s", sum(attempt_s))
                 self._on_worker_crash(job, worker, exc)
                 return
+        job.add_timing("encode_s", attempt_s[-1])
+        if len(attempt_s) > 1:
+            job.add_timing("retry_overhead_s", sum(attempt_s[:-1]))
         job.mark_done(
             TranscodeResult(
                 clip=job.request.clip,
@@ -315,11 +360,16 @@ class TranscodeService:
                 baseline_cycles=profiled.baseline_cycles,
             )
         )
+        if job.submitted_ns is not None:
+            job.timings["e2e_s"] = (
+                time.perf_counter_ns() - job.submitted_ns
+            ) / 1e9
         obs.inc("service.jobs_completed")
         obs.observe("service.job_latency_cycles", cycles)
         speedup = job.result.speedup_pct
         if speedup is not None:
             obs.observe("service.job_speedup_pct", speedup)
+        self._record_stage_metrics(job, worker.config_name)
 
     def _on_worker_crash(self, job: Job, worker, exc: Exception) -> None:
         """Isolate a crashed worker and re-place (or fail) its job."""
@@ -330,9 +380,50 @@ class TranscodeService:
         if job.attempts >= self.config.max_attempts or not self.fleet.available():
             job.mark_failed(error)
             obs.inc("service.jobs_failed")
+            if job.submitted_ns is not None:
+                job.timings["e2e_s"] = (
+                    time.perf_counter_ns() - job.submitted_ns
+                ) / 1e9
+            self._record_stage_metrics(job, worker.config_name)
         else:
             job.mark_requeued(error)
             self.queue.requeue(job)
+
+    #: timing key in ``Job.timings`` -> ``stage`` label value.
+    _STAGES = (
+        ("queue_wait_s", "queue_wait"),
+        ("placement_s", "placement"),
+        ("encode_s", "encode"),
+        ("retry_overhead_s", "retry_overhead"),
+        ("e2e_s", "e2e"),
+    )
+
+    def _record_stage_metrics(self, job: Job, config: str) -> None:
+        """Publish a terminal job's latency decomposition: one labeled
+        ``service.stage_latency_s`` histogram sample per recorded stage
+        (keyed by stage / µarch config / policy), plus the deadline
+        accounting the SLO engine's ``deadline_miss_rate`` kind reads."""
+        buckets = latency_buckets()
+        for key, stage in self._STAGES:
+            value = job.timings.get(key)
+            if value is None:
+                continue
+            obs.observe(
+                "service.stage_latency_s",
+                value,
+                labels={
+                    "stage": stage,
+                    "config": config,
+                    "policy": self.policy.name,
+                },
+                bounds=buckets,
+            )
+        deadline_ms = job.request.deadline_ms
+        if deadline_ms is not None:
+            obs.inc("service.jobs_with_deadline")
+            e2e_s = job.timings.get("e2e_s", 0.0)
+            if job.state == "failed" or e2e_s * 1000.0 > deadline_ms:
+                obs.inc("service.deadline_misses")
 
     # -- profiling (once per unique request) ---------------------------
     def _profile(self, job: Job) -> _ProfiledJob:

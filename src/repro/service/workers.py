@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import session as obs
 from repro.resilience.faults import fault_point
 from repro.service.jobs import Job
 from repro.trace.program import Program
@@ -94,8 +95,14 @@ class Worker:
         model an encoder crash on this worker (the detail string is
         ``"<worker> job=<id>"`` so ``match=`` can target one worker).
         """
-        fault_point("service.worker", detail=f"{self.name} job={job.job_id}")
-        cycles = simulate(stream, program, self.config).cycles
+        with obs.span(
+            "worker.encode", job=job.job_id, worker=self.name,
+            config=self.config_name,
+        ):
+            fault_point(
+                "service.worker", detail=f"{self.name} job={job.job_id}"
+            )
+            cycles = simulate(stream, program, self.config).cycles
         self.stats.completed += 1
         self.stats.cycles += cycles
         return cycles

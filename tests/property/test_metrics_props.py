@@ -1,0 +1,116 @@
+"""Property tests for the metrics registry's worker-merge protocol.
+
+The sweep engine and the job service both rely on one invariant: a
+worker process can export its registry (``export_state``), ship it
+across a process boundary as plain JSON, and the parent can fold it in
+(``merge_state``) without losing anything — including label dimensions
+and histogram percentile estimates. These tests drive that with
+Hypothesis:
+
+- **Identity round-trip**: merging one worker's export into an empty
+  registry reproduces the worker's ``as_dict`` exactly — labeled series
+  keys, counts, sums, min/max, and interpolated percentiles included.
+- **Fan-out equivalence**: splitting an observation stream across N
+  simulated workers and merging them all back yields exactly the bucket
+  counts, count/min/max, and percentile estimates of a single registry
+  that saw every observation locally (sums match to float tolerance:
+  addition order differs across shards).
+- **JSON safety**: the exported state survives ``json.dumps`` /
+  ``json.loads`` — the actual transport for checkpoints and artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry, latency_buckets
+
+_LABEL_SETS = (
+    None,
+    {"stage": "encode"},
+    {"stage": "queue_wait"},
+    {"stage": "encode", "config": "fe_op"},
+    {"stage": "encode", "config": "bs_op", "policy": "smart"},
+)
+
+_labels = st.sampled_from(_LABEL_SETS)
+
+_values = st.lists(
+    st.floats(min_value=1e-7, max_value=1e3,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+#: (labels, observations) per histogram family member.
+_series = st.lists(st.tuples(_labels, _values), min_size=1, max_size=4)
+
+_PCTS = ("p50", "p90", "p99")
+
+
+def _observe_all(reg: MetricsRegistry, series) -> None:
+    for labels, values in series:
+        hist = reg.histogram("svc.latency_s", latency_buckets(), labels)
+        for v in values:
+            hist.observe(v)
+
+
+class TestExportMergeRoundTrip:
+    @given(series=_series)
+    @settings(max_examples=60, deadline=None)
+    def test_single_worker_identity(self, series):
+        worker = MetricsRegistry()
+        _observe_all(worker, series)
+        worker.counter("svc.jobs", {"config": "a"}).inc(len(series))
+        worker.gauge("svc.depth").set(3.5)
+
+        parent = MetricsRegistry()
+        parent.merge_state(worker.export_state())
+        assert parent.as_dict() == worker.as_dict()
+
+    @given(series=_series)
+    @settings(max_examples=60, deadline=None)
+    def test_export_survives_json_transport(self, series):
+        worker = MetricsRegistry()
+        _observe_all(worker, series)
+        wire = json.loads(json.dumps(worker.export_state()))
+        parent = MetricsRegistry()
+        parent.merge_state(wire)
+        assert parent.as_dict() == worker.as_dict()
+
+    @given(
+        series=_series,
+        n_workers=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fan_out_equivalence(self, series, n_workers):
+        """N workers each observing a shard merge back to exactly the
+        single-registry truth (percentiles included)."""
+        reference = MetricsRegistry()
+        _observe_all(reference, series)
+
+        workers = [MetricsRegistry() for _ in range(n_workers)]
+        for labels, values in series:
+            for i, v in enumerate(values):
+                hist = workers[i % n_workers].histogram(
+                    "svc.latency_s", latency_buckets(), labels
+                )
+                hist.observe(v)
+
+        parent = MetricsRegistry()
+        for worker in workers:
+            parent.merge_state(worker.export_state())
+
+        ref_flat = reference.as_dict()
+        got_flat = parent.as_dict()
+        assert set(got_flat) == set(ref_flat)
+        for key, ref_snap in ref_flat.items():
+            got_snap = got_flat[key]
+            for field in ("count", "min", "max", *_PCTS):
+                assert got_snap[field] == ref_snap[field], (key, field)
+            assert got_snap["mean"] == pytest.approx(
+                ref_snap["mean"], rel=1e-9
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for repro.obs.expose: Prometheus text + snapshotting."""
+
+import json
+
+from repro.obs.expose import (
+    MetricsSnapshotter,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloObjective, SloSpec
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("service.jobs_completed").inc(3)
+    reg.gauge("service.queue_depth").set(2)
+    h = reg.histogram("service.latency_s", (0.1, 1.0),
+                      {"stage": "encode", "config": "fe_op"})
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("service.queue_depth") == \
+            "repro_service_queue_depth"
+        assert sanitize_metric_name("9lives") == "repro__9lives"
+
+    def test_counter_gauge_lines(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_service_jobs_completed_total counter" in text
+        assert "repro_service_jobs_completed_total 3" in text
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 2" in text
+
+    def test_histogram_buckets_cumulative_with_labels(self):
+        lines = render_prometheus(_registry()).splitlines()
+        bucket_lines = [l for l in lines
+                        if l.startswith("repro_service_latency_s_bucket")]
+        # Labels are carried through and le added; counts are cumulative.
+        assert bucket_lines == [
+            'repro_service_latency_s_bucket{config="fe_op",stage="encode",le="0.1"} 1',
+            'repro_service_latency_s_bucket{config="fe_op",stage="encode",le="1"} 2',
+            'repro_service_latency_s_bucket{config="fe_op",stage="encode",le="+Inf"} 3',
+        ]
+        assert ('repro_service_latency_s_count{config="fe_op",stage="encode"} 3'
+                in lines)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestMetricsSnapshotter:
+    def test_exit_flush_writes_all_artifacts(self, tmp_path):
+        reg = _registry()
+        out = tmp_path / "metrics"
+        # interval_s=0 disables the thread; only the exit flush runs.
+        with MetricsSnapshotter(reg, out, interval_s=0):
+            reg.counter("service.jobs_completed").inc()
+        prom = (out / "metrics.prom").read_text()
+        assert "repro_service_jobs_completed_total 4" in prom
+        rows = [json.loads(l) for l in
+                (out / "snapshots.jsonl").read_text().splitlines()]
+        assert rows[-1]["seq"] == 0
+        assert rows[-1]["metrics"] == len(reg)
+
+    def test_slo_snapshot_written(self, tmp_path):
+        reg = _registry()
+        spec = SloSpec(name="t", objectives=(
+            SloObjective(name="errs", kind="error_rate",
+                         bad="service.jobs_failed",
+                         total="service.jobs_completed", max_rate=0.5),
+        ))
+        with MetricsSnapshotter(reg, tmp_path, interval_s=0, slo_spec=spec):
+            pass
+        doc = json.loads((tmp_path / "slo.json").read_text())
+        assert doc["spec"] == "t"
+        assert doc["ok"] is True
+        row = json.loads(
+            (tmp_path / "snapshots.jsonl").read_text().splitlines()[-1]
+        )
+        assert row["slo_ok"] is True
+        assert row["breached"] == []
+
+    def test_interval_thread_ticks(self, tmp_path):
+        reg = _registry()
+        snap = MetricsSnapshotter(reg, tmp_path, interval_s=0.01)
+        with snap:
+            deadline = 200
+            while snap.ticks < 2 and deadline:
+                deadline -= 1
+                import time
+                time.sleep(0.01)
+        assert snap.ticks >= 2  # at least one timed tick + exit flush
