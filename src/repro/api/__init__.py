@@ -12,6 +12,7 @@ profiled transcode    :func:`repro.api.profile`
 paper table/figure    :func:`repro.api.sweep`
 batch scheduling      :func:`repro.api.schedule`
 job service           :func:`repro.api.serve`
+open-loop load test   :func:`repro.api.loadtest`
 ====================  ================================================
 
 Quickstart::
@@ -47,6 +48,9 @@ from repro.api.types import (
 #: eager package imports here would close that cycle.
 _LAZY_EXPORTS = {
     "encode": ("repro.api.facade", "encode"),
+    "loadtest": ("repro.api.facade", "loadtest"),
+    "LoadtestReport": ("repro.loadgen.driver", "LoadtestReport"),
+    "LoadtestSpec": ("repro.loadgen.driver", "LoadtestSpec"),
     "profile": ("repro.api.facade", "profile"),
     "render_experiment": ("repro.api.facade", "render_experiment"),
     "schedule": ("repro.api.facade", "schedule"),
@@ -81,12 +85,15 @@ __all__ = [
     "JOB_RUNNING",
     "JOB_STATES",
     "JobStatus",
+    "LoadtestReport",
+    "LoadtestSpec",
     "ServiceConfig",
     "ServiceReport",
     "Settings",
     "TranscodeRequest",
     "TranscodeResult",
     "encode",
+    "loadtest",
     "profile",
     "render_experiment",
     "schedule",

@@ -1,4 +1,5 @@
-"""The five blessed entry points: encode, profile, sweep, schedule, serve.
+"""The six blessed entry points: encode, profile, sweep, schedule,
+serve, loadtest.
 
 One function per workflow, all consuming/producing the typed records in
 :mod:`repro.api.types`. The CLI, the experiments, and the service layer
@@ -10,11 +11,13 @@ deprecated shims.
 - :func:`profile` — one perf-stat-style profiled transcode;
 - :func:`sweep` — any paper table/figure by experiment id;
 - :func:`schedule` — the batch scheduler case study (Fig. 9);
-- :func:`serve` — a synchronous pass of the long-lived job service.
+- :func:`serve` — a synchronous pass of the long-lived job service;
+- :func:`loadtest` — an open-loop sustained-traffic run against the
+  service on a virtual clock.
 
-``sweep`` and ``serve`` accept ``telemetry_dir`` and then export
-``run.json`` / ``events.jsonl`` / ``trace.json`` artifacts around the
-run, exactly like the CLI's ``--telemetry`` flag.
+``sweep``, ``serve``, and ``loadtest`` accept ``telemetry_dir`` and then
+export ``run.json`` / ``events.jsonl`` / ``trace.json`` artifacts around
+the run, exactly like the CLI's ``--telemetry`` flag.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from pathlib import Path
 
 from repro.api.settings import Settings
 from repro.api.types import TranscodeRequest, TranscodeResult
+from repro.loadgen.driver import LoadtestReport, LoadtestSpec, run_loadtest
 from repro.profiling.perf import ProfileResult, profile_transcode
 from repro.scheduling.casestudy import CaseStudyResult, run_case_study
 from repro.scheduling.task import TABLE_III_TASKS, TranscodeTask
@@ -38,6 +42,7 @@ from repro.video.vbench import load_video
 
 __all__ = [
     "encode",
+    "loadtest",
     "profile",
     "render_experiment",
     "schedule",
@@ -358,4 +363,84 @@ def serve(
                     slo=slo_payload,
                 )
                 print(f"[serve] telemetry: {paths['run']}", file=sys.stderr)
+    return report
+
+
+def loadtest(
+    spec: LoadtestSpec | None = None,
+    config: ServiceConfig | None = None,
+    *,
+    telemetry_dir: str | Path | None = None,
+    settings: Settings | None = None,
+    slo_spec: str | Path | None = None,
+) -> LoadtestReport:
+    """Run an open-loop sustained-traffic load test against the service.
+
+    With ``spec`` omitted, one is built from ``settings`` (or the
+    environment's ``REPRO_LOADTEST_*`` variables, or the defaults):
+    arrival process, offered rate(s), duration, and workload mix. Each
+    rate runs as one leg on a fresh
+    :class:`~repro.service.service.TranscodeService` over a virtual
+    clock, so even multi-minute scenarios finish in wall milliseconds —
+    see :func:`repro.loadgen.run_loadtest` for the mechanics.
+
+    With ``telemetry_dir`` the run exports artifacts under
+    ``experiment: "loadtest"``; the offered/admitted/shed accounting and
+    per-leg latency percentiles land in ``run.json``'s
+    ``meta.loadtest`` section, and an ``slo_spec`` (CLI flag >
+    ``settings`` > off) adds the evaluated verdict to the ``slo``
+    section, where ``repro slo check`` gates on it.
+    """
+    if settings is not None:
+        settings.apply()
+        if slo_spec is None:
+            slo_spec = settings.slo_spec
+        if spec is None:
+            spec = LoadtestSpec(
+                arrivals=settings.loadtest_arrivals,
+                rates=settings.loadtest_rate,
+                duration_s=settings.loadtest_duration,
+                mix=settings.loadtest_mix,
+            )
+    spec = spec or LoadtestSpec()
+    if telemetry_dir is None and slo_spec is None:
+        return run_loadtest(spec, config)
+
+    from repro.obs import (
+        current,
+        evaluate_slo,
+        export_session,
+        load_slo_spec,
+        telemetry_session,
+    )
+
+    slo = load_slo_spec(slo_spec) if slo_spec is not None else None
+    session_cm = nullcontext(current()) if current() else telemetry_session()
+    t0 = time.perf_counter()
+    status = "ok"
+    with session_cm as tel:
+        try:
+            report = run_loadtest(spec, config)
+        except Exception:
+            status = "failed"
+            raise
+        finally:
+            slo_payload = (
+                evaluate_slo(slo, tel.metrics.as_dict()).to_payload()
+                if slo is not None
+                else None
+            )
+            if telemetry_dir is not None:
+                paths = export_session(
+                    tel,
+                    telemetry_dir,
+                    experiment="loadtest",
+                    scale=spec.arrivals,
+                    wall_seconds=time.perf_counter() - t0,
+                    status=status,
+                    slo=slo_payload,
+                )
+                print(
+                    f"[loadtest] telemetry: {paths['run']}", file=sys.stderr
+                )
     return report

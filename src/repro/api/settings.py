@@ -39,9 +39,23 @@ ENV_VARS = {
     "REPRO_SLO_SPEC": "slo_spec",
     "REPRO_METRICS_OUT": "metrics_out",
     "REPRO_METRICS_INTERVAL": "metrics_interval",
+    "REPRO_LOADTEST_ARRIVALS": "loadtest_arrivals",
+    "REPRO_LOADTEST_RATE": "loadtest_rate",
+    "REPRO_LOADTEST_DURATION": "loadtest_duration",
+    "REPRO_LOADTEST_MIX": "loadtest_mix",
 }
 
 _TRUTHY = ("1", "true", "yes", "on")
+
+
+def _parse_rates(raw: str) -> tuple[float, ...]:
+    """Parse a comma-separated offered-rate list like ``"4,8,16"``."""
+    rates = tuple(
+        float(clause) for clause in raw.split(",") if clause.strip()
+    )
+    if not rates:
+        raise ValueError(f"no rates in {raw!r}")
+    return rates
 
 
 @dataclass(frozen=True)
@@ -64,10 +78,36 @@ class Settings:
     slo_spec: Path | None = None
     metrics_out: Path | None = None
     metrics_interval: float = 30.0
+    loadtest_arrivals: str = "poisson"
+    loadtest_rate: tuple[float, ...] = (8.0,)
+    loadtest_duration: float = 30.0
+    loadtest_mix: str = "table3"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        from repro.loadgen.arrivals import ARRIVAL_KINDS
+        from repro.loadgen.mixes import MIXES
+
+        if self.loadtest_arrivals not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival process {self.loadtest_arrivals!r}; "
+                f"choose from {', '.join(ARRIVAL_KINDS)}"
+            )
+        if self.loadtest_mix not in MIXES:
+            raise ValueError(
+                f"unknown workload mix {self.loadtest_mix!r}; "
+                f"choose from {', '.join(sorted(MIXES))}"
+            )
+        if not self.loadtest_rate or any(r <= 0 for r in self.loadtest_rate):
+            raise ValueError(
+                f"loadtest rates must be > 0, got {self.loadtest_rate}"
+            )
+        if self.loadtest_duration <= 0:
+            raise ValueError(
+                f"loadtest duration must be > 0 s, "
+                f"got {self.loadtest_duration}"
+            )
         if self.kernels not in _kernels.KERNEL_BACKENDS:
             raise ValueError(
                 f"unknown kernel backend {self.kernels!r}; choose from "
@@ -118,6 +158,24 @@ class Settings:
                 kwargs["metrics_interval"] = float(mint_raw)
             except ValueError:
                 pass
+        arrivals_raw = os.environ.get("REPRO_LOADTEST_ARRIVALS", "").strip()
+        if arrivals_raw:
+            kwargs["loadtest_arrivals"] = arrivals_raw.lower()
+        rate_raw = os.environ.get("REPRO_LOADTEST_RATE", "").strip()
+        if rate_raw:
+            try:
+                kwargs["loadtest_rate"] = _parse_rates(rate_raw)
+            except ValueError:
+                pass
+        dur_raw = os.environ.get("REPRO_LOADTEST_DURATION", "").strip()
+        if dur_raw:
+            try:
+                kwargs["loadtest_duration"] = float(dur_raw)
+            except ValueError:
+                pass
+        mix_raw = os.environ.get("REPRO_LOADTEST_MIX", "").strip()
+        if mix_raw:
+            kwargs["loadtest_mix"] = mix_raw.lower()
         kwargs["retry"] = RetryPolicy.from_env()
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -136,6 +194,10 @@ class Settings:
         slo_spec: str | Path | None = None,
         metrics_out: str | Path | None = None,
         metrics_interval: float | None = None,
+        loadtest_arrivals: str | None = None,
+        loadtest_rate: str | tuple[float, ...] | None = None,
+        loadtest_duration: float | None = None,
+        loadtest_mix: str | None = None,
     ) -> "Settings":
         """Resolve CLI flags over the environment over the defaults.
 
@@ -167,6 +229,18 @@ class Settings:
             updates["metrics_out"] = Path(metrics_out)
         if metrics_interval is not None:
             updates["metrics_interval"] = float(metrics_interval)
+        if loadtest_arrivals is not None:
+            updates["loadtest_arrivals"] = loadtest_arrivals.lower()
+        if loadtest_rate is not None:
+            updates["loadtest_rate"] = (
+                _parse_rates(loadtest_rate)
+                if isinstance(loadtest_rate, str)
+                else tuple(float(r) for r in loadtest_rate)
+            )
+        if loadtest_duration is not None:
+            updates["loadtest_duration"] = float(loadtest_duration)
+        if loadtest_mix is not None:
+            updates["loadtest_mix"] = loadtest_mix.lower()
         return replace(settings, **updates) if updates else settings  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------

@@ -22,14 +22,18 @@ Examples::
     repro submit cricket --crf 30 --spool .repro/spool.jsonl
     repro serve --spool .repro/spool.jsonl --telemetry out-serve/
     repro serve --mix table3 --count 8          # the paper's §V task mix
+    repro loadtest --arrivals poisson --rate 4,16,40 --duration 30 --quick
+    repro loadtest --arrivals diurnal --rate 12 --amplitude 0.9 \
+        --telemetry out-load/ --slo examples/slo/loadtest.json
 
 Every flag falls back to its environment variable with one documented
 precedence order — **CLI flag > environment > default** — implemented by
 :class:`repro.api.Settings` (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
 ``REPRO_KERNELS``, ``REPRO_FAULT_PLAN``, ``REPRO_RESUME``,
 ``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``, ``REPRO_SLO_SPEC``,
-``REPRO_METRICS_OUT``, ``REPRO_METRICS_INTERVAL``). Subcommands read
-only the resolved ``Settings``; nothing else consults the environment.
+``REPRO_METRICS_OUT``, ``REPRO_METRICS_INTERVAL``,
+``REPRO_LOADTEST_*``). Subcommands read only the resolved ``Settings``;
+nothing else consults the environment.
 
 A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
@@ -39,7 +43,11 @@ list under ``--telemetry``), and the process exits with code 3.
 ``repro serve`` runs the long-lived transcoding job service over a
 request spool (``repro submit`` appends to it) or the built-in Table III
 mix, places jobs with the smart (or random-control) policy, and exits 1
-if any job finished ``failed``. With ``--slo SPEC.json`` the run is
+if any job finished ``failed``. ``repro loadtest`` drives the same
+service with sustained open-loop traffic — a deterministic, seeded
+arrival schedule offered on a virtual clock — and prints the
+offered-rate vs. achieved-throughput/latency table (shed load included;
+exit 1 if any job finished ``failed``). With ``--slo SPEC.json`` the run is
 evaluated against a declarative SLO spec (the verdict lands in
 ``run.json``); with ``--metrics-out DIR`` live Prometheus-text metric
 snapshots are written while the service drains. ``repro slo check
@@ -456,11 +464,151 @@ def _serve_main(argv: list[str]) -> int:
     return 1 if report.failed else 0
 
 
+def _loadtest_main(argv: list[str]) -> int:
+    """``repro loadtest``: sustained traffic against the job service."""
+    parser = argparse.ArgumentParser(
+        prog="repro loadtest",
+        description="Drive the transcoding job service with an open-loop "
+                    "arrival schedule on a virtual clock (sustained-"
+                    "traffic scenarios resolve in wall milliseconds).",
+    )
+    parser.add_argument("--arrivals",
+                        choices=("poisson", "fixed", "diurnal", "mmpp"),
+                        default=None,
+                        help="arrival process "
+                             "(default: $REPRO_LOADTEST_ARRIVALS, "
+                             "else poisson)")
+    parser.add_argument("--rate", metavar="R[,R...]", default=None,
+                        help="offered rate(s) in req/s; a comma list runs "
+                             "one leg per rate "
+                             "(default: $REPRO_LOADTEST_RATE, else 8)")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="virtual seconds of offered traffic per leg "
+                             "(default: $REPRO_LOADTEST_DURATION, else 30)")
+    parser.add_argument("--mix", default=None,
+                        help="workload mix name "
+                             "(default: $REPRO_LOADTEST_MIX, else table3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for arrivals and mix sampling "
+                             "(default: 0)")
+    loop = parser.add_mutually_exclusive_group()
+    loop.add_argument("--open-loop", dest="open_loop", action="store_true",
+                      default=True,
+                      help="offer every arrival on schedule; full queues "
+                           "shed load (the default)")
+    loop.add_argument("--closed-loop", dest="open_loop",
+                      action="store_false",
+                      help="hold admissions until the queue has room "
+                           "(nothing sheds; hides overload)")
+    parser.add_argument("--amplitude", type=float, default=0.5,
+                        help="diurnal swing in [0, 1) (default: 0.5)")
+    parser.add_argument("--period", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="diurnal period (default: 60)")
+    parser.add_argument("--burst", type=float, default=8.0,
+                        help="mmpp burst-to-quiet rate ratio (default: 8)")
+    parser.add_argument("--sojourn", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="mmpp mean state sojourn (default: 5)")
+    parser.add_argument("--fleet", metavar="SPEC", default=None,
+                        help="worker fleet, e.g. 'fe_op,be_op1:2,bs_op' "
+                             "(default: one worker per Table IV variant)")
+    parser.add_argument("--policy", choices=("smart", "random"),
+                        default="smart",
+                        help="placement policy (default: smart)")
+    parser.add_argument("--queue-capacity", type=int, default=64,
+                        help="admission queue bound; the knob that decides "
+                             "when overload sheds (default: 64)")
+    parser.add_argument("--clock-hz", type=float, default=None,
+                        metavar="HZ",
+                        help="virtual core frequency for charging encode "
+                             "cycles (default: 1e6)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small proxy clips (48x32, 4 frames) for "
+                             "smokes and CI")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'service.worker,at=3,raise=RuntimeError' "
+                             "(default: $REPRO_FAULT_PLAN)")
+    parser.add_argument("--telemetry", metavar="OUT_DIR", default=None,
+                        help="write run.json/events.jsonl/trace.json with "
+                             "the offered/admitted/shed accounting under "
+                             "meta.loadtest")
+    parser.add_argument("--slo", metavar="SPEC.json", default=None,
+                        help="evaluate the run against this SLO spec; the "
+                             "verdict lands in run.json "
+                             "(default: $REPRO_SLO_SPEC)")
+    args = parser.parse_args(argv)
+
+    from repro.api import (
+        LoadtestSpec,
+        ServiceConfig,
+        Settings,
+        loadtest,
+    )
+    from repro.service import parse_fleet_spec
+
+    try:
+        settings = Settings.resolve(
+            fault_plan=args.fault_plan,
+            slo_spec=args.slo,
+            loadtest_arrivals=args.arrivals,
+            loadtest_rate=args.rate,
+            loadtest_duration=args.duration,
+            loadtest_mix=args.mix,
+        ).apply()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    extras: dict[str, float] = {}
+    if settings.loadtest_arrivals == "diurnal":
+        extras = {"amplitude": args.amplitude, "period_s": args.period}
+    elif settings.loadtest_arrivals == "mmpp":
+        extras = {"burst": args.burst, "sojourn_s": args.sojourn}
+    sizing = {"width": 48, "height": 32, "n_frames": 4} if args.quick else {}
+    if args.clock_hz is not None:
+        sizing["clock_hz"] = args.clock_hz
+    try:
+        spec = LoadtestSpec(
+            arrivals=settings.loadtest_arrivals,
+            rates=settings.loadtest_rate,
+            duration_s=settings.loadtest_duration,
+            mix=settings.loadtest_mix,
+            seed=args.seed,
+            open_loop=args.open_loop,
+            arrival_extras=extras,
+        )
+        config = ServiceConfig(
+            fleet=(parse_fleet_spec(args.fleet) if args.fleet
+                   else ServiceConfig.fleet),
+            policy=args.policy,
+            seed=args.seed,
+            queue_capacity=args.queue_capacity,
+            **sizing,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    try:
+        report = loadtest(
+            spec,
+            config,
+            telemetry_dir=args.telemetry,
+            slo_spec=settings.slo_spec,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro loadtest: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 1 if any(leg.failed for leg in report.legs) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    # `list`, `report`, `cache`, `bench`, `serve`, and `submit` are
-    # subcommands with their own options; the default command (run an
-    # experiment) keeps its historical flat form.
+    # `list`, `report`, `cache`, `bench`, `serve`, `loadtest`, and
+    # `submit` are subcommands with their own options; the default
+    # command (run an experiment) keeps its historical flat form.
     if argv[:1] == ["list"]:
         return _list_main()
     if argv[:1] == ["report"]:
@@ -471,6 +619,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench_main(argv[1:])
     if argv[:1] == ["serve"]:
         return _serve_main(argv[1:])
+    if argv[:1] == ["loadtest"]:
+        return _loadtest_main(argv[1:])
     if argv[:1] == ["submit"]:
         return _submit_main(argv[1:])
     if argv[:1] == ["slo"]:
@@ -486,9 +636,10 @@ def main(argv: list[str] | None = None) -> int:
                "`repro bench [--compare BASELINE.json]` benchmarks the "
                "codec kernels and the fig3 slice; `repro submit CLIP` "
                "queues a job and `repro serve` runs the transcoding job "
-               "service over the queue; `repro slo check RUN.json --spec "
-               "SPEC.json` gates an exported run on its SLOs (exit 2 on "
-               "breach).",
+               "service over the queue; `repro loadtest` drives the "
+               "service with sustained open-loop traffic on a virtual "
+               "clock; `repro slo check RUN.json --spec SPEC.json` gates "
+               "an exported run on its SLOs (exit 2 on breach).",
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {repro.__version__}"

@@ -1,0 +1,85 @@
+"""Open-loop load generation for the transcoding service.
+
+The package that turns the synchronous :mod:`repro.service` layer into a
+sustained-traffic testbed:
+
+- :mod:`repro.loadgen.clock` — the :class:`Clock` indirection
+  (:class:`WallClock` / :class:`VirtualClock`) the service stamps every
+  latency through, so scenarios run in virtual seconds;
+- :mod:`repro.loadgen.arrivals` — deterministic, seedable arrival
+  processes (Poisson / fixed-interval / diurnal / MMPP) realized as
+  byte-identical :class:`ArrivalSchedule` objects;
+- :mod:`repro.loadgen.mixes` — weighted workload mixes over the vbench
+  catalog (:data:`MIXES`), sampled with seeded PCG64;
+- :mod:`repro.loadgen.driver` — :func:`run_loadtest`, which offers a
+  schedule open-loop (or closed-loop, for contrast) to a
+  :class:`~repro.service.service.TranscodeService` and reports offered /
+  admitted / shed / completed accounting with latency percentiles.
+
+The driver is re-exported lazily: the service layer imports
+:mod:`repro.loadgen.clock`, and the driver imports the service layer, so
+an eager re-export here would complete an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.loadgen.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    ArrivalSchedule,
+    DiurnalArrivals,
+    FixedIntervalArrivals,
+    MmppArrivals,
+    PoissonArrivals,
+    make_arrivals,
+    merge_schedules,
+)
+from repro.loadgen.clock import Clock, VirtualClock, WallClock
+from repro.loadgen.mixes import MIXES, MixTemplate, WorkloadMix, make_mix
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "ArrivalSchedule",
+    "Clock",
+    "DiurnalArrivals",
+    "FixedIntervalArrivals",
+    "LegResult",
+    "LoadtestReport",
+    "LoadtestSpec",
+    "MIXES",
+    "MixTemplate",
+    "MmppArrivals",
+    "PoissonArrivals",
+    "VirtualClock",
+    "WallClock",
+    "WorkloadMix",
+    "make_arrivals",
+    "make_mix",
+    "merge_schedules",
+    "run_loadtest",
+]
+
+#: Driver exports resolved on first touch (breaks the service⇄loadgen
+#: import cycle: service → loadgen.clock, loadgen.driver → service).
+_LAZY_EXPORTS = {
+    "LegResult": "repro.loadgen.driver",
+    "LoadtestReport": "repro.loadgen.driver",
+    "LoadtestSpec": "repro.loadgen.driver",
+    "run_loadtest": "repro.loadgen.driver",
+}
+
+
+def __getattr__(name: str):
+    """Lazily import the driver layer's exports."""
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__() -> list[str]:
+    """Advertise lazy exports alongside the eager ones."""
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,171 @@
+"""Workload mixes: weighted request templates over the vbench catalog.
+
+The paper's Table III fixes one four-job mix; a load generator needs
+*populations* — weighted distributions over resolution, preset, and CRF
+drawn from the vbench catalog (paper Table I) — so sustained-traffic
+scenarios exercise the same content diversity the per-clip experiments
+do. A :class:`WorkloadMix` is a set of :class:`MixTemplate` rows (clip /
+preset / crf / refs, each with a sampling weight); :meth:`WorkloadMix.sample`
+draws a deterministic, seeded request sequence from it.
+
+Built-in mixes (see :data:`MIXES`):
+
+- ``table3`` — the paper's Table III tasks, equally weighted (the
+  serving-mode baseline);
+- ``entropy_spread`` — low / mid / high entropy clips in equal measure,
+  spanning the content axis Fig. 7 characterizes;
+- ``hd_streams`` — a VOD-shaped mix: mostly 720p/1080p mid-quality
+  encodes with a thin 4K tail on slow presets;
+- ``screencast`` — the near-static desktop/presentation clips at speed
+  presets and high CRF (cheap, bursty interactive traffic).
+
+Sampling uses a seeded PCG64 stream only, so the same ``(mix, n, seed)``
+yields the same request sequence in every process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.types import TranscodeRequest
+from repro.scheduling.task import TABLE_III_TASKS
+
+__all__ = [
+    "MIXES",
+    "MixTemplate",
+    "WorkloadMix",
+    "make_mix",
+]
+
+
+@dataclass(frozen=True)
+class MixTemplate:
+    """One weighted request template of a workload mix."""
+
+    clip: str
+    preset: str = "medium"
+    crf: int = 23
+    refs: int | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(
+                f"template weight must be > 0, got {self.weight} "
+                f"({self.clip}/{self.preset}/crf={self.crf})"
+            )
+        # Validate clip/preset/crf eagerly through the request contract.
+        self.request()
+
+    def request(self, *, priority: int = 0,
+                deadline_ms: float | None = None) -> TranscodeRequest:
+        """The typed request this template stamps out."""
+        return TranscodeRequest(
+            clip=self.clip, preset=self.preset, crf=self.crf,
+            refs=self.refs, priority=priority, deadline_ms=deadline_ms,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named, weighted population of request templates."""
+
+    name: str
+    templates: tuple[MixTemplate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError(f"mix {self.name!r} declares no templates")
+
+    def weights(self) -> tuple[float, ...]:
+        """Normalized sampling probabilities, template-ordered."""
+        raw = [t.weight for t in self.templates]
+        total = sum(raw)
+        return tuple(w / total for w in raw)
+
+    def sample(self, n: int, *, seed: int = 0) -> list[TranscodeRequest]:
+        """Draw ``n`` requests i.i.d. from the weighted templates.
+
+        Deterministic: the same ``(mix, n, seed)`` produces the same
+        sequence in any process (seeded PCG64, no global RNG state).
+        """
+        if n < 0:
+            raise ValueError(f"sample size must be >= 0, got {n}")
+        rng = np.random.Generator(np.random.PCG64(seed))
+        picks = rng.choice(len(self.templates), size=n, p=self.weights())
+        return [self.templates[int(i)].request() for i in picks]
+
+    def describe(self) -> str:
+        """One line per template: weight, clip, knobs."""
+        lines = [f"mix {self.name} ({len(self.templates)} templates):"]
+        total = sum(t.weight for t in self.templates)
+        for t in self.templates:
+            refs = "preset" if t.refs is None else str(t.refs)
+            lines.append(
+                f"  {t.weight / total:6.1%}  {t.clip:<12s} "
+                f"preset={t.preset} crf={t.crf} refs={refs}"
+            )
+        return "\n".join(lines)
+
+
+def _table3_mix() -> WorkloadMix:
+    return WorkloadMix(
+        name="table3",
+        templates=tuple(
+            MixTemplate(clip=t.video, preset=t.preset, crf=t.crf,
+                        refs=t.refs)
+            for t in TABLE_III_TASKS
+        ),
+    )
+
+
+#: The built-in mixes, by name.
+MIXES: dict[str, WorkloadMix] = {
+    "table3": _table3_mix(),
+    "entropy_spread": WorkloadMix(
+        name="entropy_spread",
+        templates=(
+            # Low entropy (near-static screen content).
+            MixTemplate("desktop", "veryfast", 30),
+            MixTemplate("presentation", "faster", 28),
+            # Mid entropy (natural motion).
+            MixTemplate("cricket", "medium", 23),
+            MixTemplate("house", "medium", 23),
+            # High entropy (heavy irregular motion).
+            MixTemplate("holi", "slow", 18),
+            MixTemplate("hall", "slow", 18),
+        ),
+    ),
+    "hd_streams": WorkloadMix(
+        name="hd_streams",
+        templates=(
+            MixTemplate("bike", "fast", 23, weight=3.0),        # 720p bulk
+            MixTemplate("game2", "medium", 23, weight=3.0),     # 720p bulk
+            MixTemplate("funny", "medium", 21, weight=2.0),     # 1080p
+            MixTemplate("landscape", "slow", 20, weight=1.0),   # 1080p hq
+            MixTemplate("chicken", "slower", 18, weight=0.5),   # 4K tail
+        ),
+    ),
+    "screencast": WorkloadMix(
+        name="screencast",
+        templates=(
+            MixTemplate("desktop", "ultrafast", 32, weight=2.0),
+            MixTemplate("desktop", "veryfast", 28, weight=1.0),
+            MixTemplate("presentation", "veryfast", 30, weight=2.0),
+            MixTemplate("presentation", "faster", 26, weight=1.0),
+        ),
+    ),
+}
+
+
+def make_mix(name: str) -> WorkloadMix:
+    """Look up a built-in mix by name (``ValueError`` if unknown)."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload mix {name!r}; "
+            f"choose from {', '.join(sorted(MIXES))}"
+        ) from None

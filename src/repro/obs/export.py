@@ -135,6 +135,10 @@ def chrome_trace(records: list[SpanRecord]) -> dict[str, object]:
 def _jsonable(v: object) -> object:
     if isinstance(v, (str, int, float, bool)) or v is None:
         return v
+    if isinstance(v, dict):
+        return {str(k): _jsonable(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
     return str(v)
 
 
@@ -312,6 +316,10 @@ def render_run(artifact: dict[str, object]) -> str:
         rows = [[k, v] for k, v in sorted(topdown.items())]
         parts.append("\ntopdown (mean % of slots):\n"
                      + format_table(["slot", "%"], rows, floatfmt=".2f"))
+    meta = artifact.get("meta")
+    loadtest = meta.get("loadtest") if isinstance(meta, dict) else None
+    if isinstance(loadtest, dict):
+        parts.append("\n" + _render_loadtest_section(loadtest))
     latency = _stage_latency_rows(artifact)
     if latency:
         parts.append("\nstage latency (per config):\n"
@@ -355,6 +363,34 @@ def _stage_latency_rows(artifact: dict[str, object]) -> list[list[object]]:
             snap.get("p99", 0.0),
         ])
     return rows
+
+
+def _render_loadtest_section(loadtest: dict[str, object]) -> str:
+    """The offered-rate vs. achieved-throughput/latency table from a
+    load-test artifact's ``meta.loadtest`` payload."""
+    spec = loadtest.get("spec") or {}
+    head = (
+        f"loadtest: {spec.get('arrivals', '?')} arrivals, "
+        f"mix={spec.get('mix', '?')}, "
+        f"duration={spec.get('duration_s', '?')}s, "
+        f"seed={spec.get('seed', '?')}, "
+        f"{'open' if spec.get('open_loop', True) else 'closed'} loop"
+    )
+    rows = [
+        [leg.get("rate", 0.0), leg.get("achieved_rps", 0.0),
+         leg.get("offered", 0), leg.get("admitted", 0),
+         leg.get("shed", 0), leg.get("completed", 0),
+         leg.get("failed", 0),
+         leg.get("queue_wait_p50_s", 0.0), leg.get("queue_wait_p99_s", 0.0),
+         leg.get("e2e_p50_s", 0.0), leg.get("e2e_p99_s", 0.0)]
+        for leg in loadtest.get("legs") or []
+    ]
+    table = format_table(
+        ["offered/s", "achieved/s", "offered", "admitted", "shed", "done",
+         "failed", "wait p50", "wait p99", "e2e p50", "e2e p99"],
+        rows, floatfmt=".4g",
+    )
+    return f"{head}\n{table}"
 
 
 def _render_slo_section(slo: dict[str, object]) -> str:

@@ -16,10 +16,10 @@ service re-runs only the unfinished jobs.
 
 from __future__ import annotations
 
-import time
 from typing import Any
 
 from repro.api.types import JOB_QUEUED, JOB_RUNNING
+from repro.loadgen.clock import Clock, WallClock
 from repro.obs import session as obs
 from repro.service.jobs import Job
 
@@ -42,10 +42,12 @@ class BoundedJobQueue:
     jobs count against ``capacity`` and are eligible for dispatch.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, *,
+                 clock: Clock | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.clock = clock if clock is not None else WallClock()
         self._jobs: dict[int, Job] = {}   # insertion-ordered job registry
 
     # -- admission ------------------------------------------------------
@@ -59,18 +61,20 @@ class BoundedJobQueue:
                 f"queue at capacity ({self.capacity}); shed load or retry"
             )
         self._jobs[job.job_id] = job
-        now = time.perf_counter_ns()
+        now = self.clock.now_ns()
         job.submitted_ns = now   # e2e clock starts at first admission
         job.enqueued_ns = now    # queue-wait clock, restamped on requeue
         self._observe_depth()
 
-    def requeue(self, job: Job) -> None:
+    def requeue(self, job: Job, *, now_ns: int | None = None) -> None:
         """Return a previously admitted job to the dispatchable pool
         (after a worker failure). Never rejects: the job already holds
-        an admission slot."""
+        an admission slot. ``now_ns`` pins the re-enqueue instant (the
+        virtual completion time of the crashed attempt); default is the
+        queue clock's current time."""
         if job.job_id not in self._jobs:
             raise ValueError(f"job {job.job_id} was never admitted")
-        job.enqueued_ns = time.perf_counter_ns()
+        job.enqueued_ns = now_ns if now_ns is not None else self.clock.now_ns()
         obs.inc("service.requeues")
         self._observe_depth()
 

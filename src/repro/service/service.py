@@ -8,12 +8,18 @@ rounds of jobs onto a heterogeneous fleet of warm workers — each pinned
 to one Table IV µarch config — using an online placement policy
 (:mod:`repro.service.placement`).
 
-The dispatch model is synchronous and round-based: every
-:meth:`TranscodeService.run_until_idle` round takes up to one job per
-free worker (priority-major order), places the batch, and executes the
-placements. That keeps the service fully deterministic (a requirement
-inherited from the sweep engine) while exercising the same queue /
-placement / fleet data flow a threaded server would.
+The dispatch model is synchronous with **continuous admission**: jobs
+are admitted the moment they arrive and placed by :meth:`TranscodeService.pump`
+onto whichever workers are *free right now* (priority-major order) — no
+round barrier waits for the whole fleet to drain. Each worker carries a
+busy horizon (:attr:`~repro.service.workers.Worker.busy_until_ns`) on
+the service clock; under the default wall clock execution is eager and
+horizons are always in the past, while under a
+:class:`~repro.loadgen.clock.VirtualClock` the horizon is charged with
+simulated encode time (``cycles / clock_hz``), which is what lets the
+open-loop load generator (:mod:`repro.loadgen`) drive sustained-traffic
+scenarios — queue growth, shed load, latency knees — in milliseconds of
+wall time, fully deterministically.
 
 Resilience reuses the PR-3 layer: retryable exceptions re-execute in
 place under the configured :class:`~repro.resilience.retry.RetryPolicy`;
@@ -40,7 +46,6 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import time
 import uuid
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -50,6 +55,7 @@ import numpy as np
 
 from repro import resilience
 from repro.api.types import JobStatus, TranscodeRequest, TranscodeResult
+from repro.loadgen.clock import Clock, WallClock
 from repro.obs import session as obs
 from repro.obs.metrics import latency_buckets
 from repro.profiling.counters import CounterSet
@@ -87,6 +93,12 @@ class ServiceConfig:
     n_frames: int = 10
     data_capacity_scale: float = 48.0
     checkpoint_path: Path | None = None
+    #: Virtual core frequency: simulated cycles charged per virtual
+    #: second when the service runs on a VirtualClock (quick-scale proxy
+    #: encodes land at a few hundred kilocycles, i.e. fractions of a
+    #: virtual second at 1 MHz). Ignored under the wall clock, where
+    #: stage durations are measured rather than charged.
+    clock_hz: float = 1.0e6
 
     def __post_init__(self) -> None:
         if self.policy not in PLACEMENT_POLICIES:
@@ -96,6 +108,8 @@ class ServiceConfig:
             )
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be > 0")
 
 
 def table3_requests(count: int = len(TABLE_III_TASKS)) -> list[TranscodeRequest]:
@@ -218,9 +232,13 @@ class TranscodeService:
         *,
         resume: bool = False,
         profile_cache: dict[tuple, _ProfiledJob] | None = None,
+        clock: Clock | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.queue = BoundedJobQueue(self.config.queue_capacity)
+        self.clock = clock if clock is not None else WallClock()
+        self.queue = BoundedJobQueue(
+            self.config.queue_capacity, clock=self.clock
+        )
         self.fleet = WorkerFleet(
             self.config.fleet,
             data_capacity_scale=self.config.data_capacity_scale,
@@ -262,66 +280,123 @@ class TranscodeService:
         return [self.submit(r) for r in requests]
 
     # -- the dispatch loop ---------------------------------------------
-    def run_until_idle(self) -> ServiceReport:
-        """Dispatch rounds until no job is pending, then report.
+    def pump(self) -> int:
+        """One continuous-admission dispatch pass: place every queued job
+        a currently-free worker can take, execute the placements, and
+        return how many jobs ran.
 
-        Jobs that exhaust their placement budget — or find every worker
-        crash-suspect — finish ``failed``; the service itself never
-        raises for job-level trouble.
+        Queue wait ends — and is stamped — the instant the placement
+        decision lands, so ``queue_wait_s == placement_time -
+        admission_time`` by construction (the old round-based loop
+        folded earlier batch members' encode time into later members'
+        queue wait). Returns 0 when nothing is dispatchable right now:
+        the queue is empty, every free worker is busy until later on the
+        service clock, or every worker is isolated.
+        """
+        executed = 0
+        while self.queue.pending():
+            now = self.clock.now_ns()
+            free = self.fleet.free(now)
+            if not free:
+                break
+            batch = self.queue.pop_ready(len(free))
+            counters = {
+                job.job_id: self._profile(job).counters for job in batch
+            }
+            place_start = self.clock.now_ns()
+            with obs.span("service.place", policy=self.policy.name,
+                          batch=len(batch)):
+                placement = self.policy.place(batch, free, counters)
+            placed_at = self.clock.now_ns()
+            place_s = (placed_at - place_start) / 1e9
+            ran_this_pass = 0
+            for job in batch:
+                worker = placement.get(job.job_id)
+                if worker is None:  # more jobs than free workers
+                    continue
+                # The placement decision is shared by the whole batch;
+                # each placed member waited for all of it.
+                job.add_timing("placement_s", place_s)
+                if job.enqueued_ns is not None:
+                    job.add_timing(
+                        "queue_wait_s", (placed_at - job.enqueued_ns) / 1e9
+                    )
+                self._execute(job, worker, start_ns=placed_at)
+                ran_this_pass += 1
+            executed += ran_this_pass
+            self._write_checkpoint()
+            if ran_this_pass == 0:  # policy placed nothing; avoid spinning
+                break
+        return executed
+
+    def run_until_idle(self) -> ServiceReport:
+        """Dispatch until no job is pending, then report.
+
+        Repeatedly :meth:`pump`\\ s; when nothing is dispatchable because
+        every available worker is busy until later on a virtual clock,
+        time is advanced to the earliest busy horizon (under the wall
+        clock horizons are always already past). Jobs that exhaust their
+        placement budget — or find every worker crash-suspect — finish
+        ``failed``; the service itself never raises for job-level
+        trouble.
         """
         with obs.span("service.drain", policy=self.policy.name):
             while self.queue.pending():
-                free = self.fleet.available()
-                if not free:
+                if not self.fleet.available():
                     for job in self.queue.pop_ready(self.queue.pending()):
                         job.mark_failed("no workers available (all isolated)")
                         obs.inc("service.jobs_failed")
+                    self._write_checkpoint()
                     break
-                batch = self.queue.pop_ready(len(free))
-                counters = {
-                    job.job_id: self._profile(job).counters for job in batch
-                }
-                place_start = time.perf_counter_ns()
-                with obs.span("service.place", policy=self.policy.name,
-                              batch=len(batch)):
-                    placement = self.policy.place(batch, free, counters)
-                place_s = (time.perf_counter_ns() - place_start) / 1e9
-                for job in batch:
-                    # The placement decision is shared by the whole
-                    # batch; each member waited for all of it.
-                    job.add_timing("placement_s", place_s)
-                for job in batch:
-                    worker = placement.get(job.job_id)
-                    if worker is None:  # more jobs than free workers
-                        continue
-                    self._execute(job, worker)
+                if self.pump():
+                    continue
+                next_free = self.fleet.next_free_ns()
+                if (next_free is not None
+                        and next_free > self.clock.now_ns()):
+                    self.clock.advance_to_ns(next_free)
+                    continue
+                # Free workers exist *now* but the policy placed nothing
+                # — nothing will change on its own; fail what is left
+                # rather than spinning forever.
+                for job in self.queue.pop_ready(self.queue.pending()):
+                    job.mark_failed("placement policy returned no placement")
+                    obs.inc("service.jobs_failed")
                 self._write_checkpoint()
+                break
         return self.report()
 
-    def _execute(self, job: Job, worker) -> None:
+    def _charge_ns(self, cycles: float) -> int:
+        """Simulated-time cost of ``cycles`` on the virtual clock."""
+        return int(round(cycles / self.config.clock_hz * 1e9))
+
+    def _execute(self, job: Job, worker, *, start_ns: int | None = None) -> None:
         """Run one placed job, with in-place retries and crash isolation.
 
-        Every execution attempt is individually timed: the successful
+        Every execution attempt is individually costed: the successful
         attempt's duration is the job's ``encode_s``, everything burned
         before it (failed attempts on this worker) plus the whole budget
-        of a crashed placement counts as ``retry_overhead_s``.
+        of a crashed placement counts as ``retry_overhead_s``. Under the
+        wall clock those costs are measured; under a virtual clock they
+        are *charged* deterministically — ``cycles / clock_hz`` for the
+        successful attempt, the job's baseline cycles for each failed
+        one (the work ran, then died) — and pushed onto the worker's
+        busy horizon so parallel workers overlap correctly in simulated
+        time.
         """
         profiled = self._profile(job)
-        if job.enqueued_ns is not None:
-            job.add_timing(
-                "queue_wait_s",
-                (time.perf_counter_ns() - job.enqueued_ns) / 1e9,
-            )
+        t_start = self.clock.now_ns() if start_ns is None else start_ns
         job.mark_running(worker.name)
-        attempt_s: list[float] = []
+        attempt_ns: list[int] = []
 
         def _attempt() -> float:
-            start = time.perf_counter_ns()
+            start = self.clock.now_ns()
             try:
                 return worker.execute(job, profiled.stream, profiled.program)
             finally:
-                attempt_s.append((time.perf_counter_ns() - start) / 1e9)
+                attempt_ns.append(self.clock.now_ns() - start)
 
+        virtual = self.clock.virtual
+        fail_charge = self._charge_ns(profiled.baseline_cycles)
         with obs.span(
             "service.job",
             job=job.job_id,
@@ -340,12 +415,24 @@ class TranscodeService:
                     label="service.worker",
                 )
             except Exception as exc:
-                job.add_timing("retry_overhead_s", sum(attempt_s))
-                self._on_worker_crash(job, worker, exc)
+                wasted_ns = (len(attempt_ns) * fail_charge if virtual
+                             else sum(attempt_ns))
+                job.add_timing("retry_overhead_s", wasted_ns / 1e9)
+                done_ns = t_start + wasted_ns
+                worker.busy_until_ns = max(worker.busy_until_ns, done_ns)
+                self._on_worker_crash(job, worker, exc, done_ns=done_ns)
                 return
-        job.add_timing("encode_s", attempt_s[-1])
-        if len(attempt_s) > 1:
-            job.add_timing("retry_overhead_s", sum(attempt_s[:-1]))
+        if virtual:
+            encode_ns = self._charge_ns(cycles)
+            wasted_ns = (len(attempt_ns) - 1) * fail_charge
+        else:
+            encode_ns = attempt_ns[-1]
+            wasted_ns = sum(attempt_ns[:-1])
+        job.add_timing("encode_s", encode_ns / 1e9)
+        if wasted_ns:
+            job.add_timing("retry_overhead_s", wasted_ns / 1e9)
+        done_ns = t_start + wasted_ns + encode_ns
+        worker.busy_until_ns = max(worker.busy_until_ns, done_ns)
         job.mark_done(
             TranscodeResult(
                 clip=job.request.clip,
@@ -361,9 +448,7 @@ class TranscodeService:
             )
         )
         if job.submitted_ns is not None:
-            job.timings["e2e_s"] = (
-                time.perf_counter_ns() - job.submitted_ns
-            ) / 1e9
+            job.timings["e2e_s"] = (done_ns - job.submitted_ns) / 1e9
         obs.inc("service.jobs_completed")
         obs.observe("service.job_latency_cycles", cycles)
         speedup = job.result.speedup_pct
@@ -371,23 +456,29 @@ class TranscodeService:
             obs.observe("service.job_speedup_pct", speedup)
         self._record_stage_metrics(job, worker.config_name)
 
-    def _on_worker_crash(self, job: Job, worker, exc: Exception) -> None:
-        """Isolate a crashed worker and re-place (or fail) its job."""
+    def _on_worker_crash(self, job: Job, worker, exc: Exception,
+                         *, done_ns: int | None = None) -> None:
+        """Isolate a crashed worker and re-place (or fail) its job.
+
+        ``done_ns`` is the service-clock instant the crashed placement
+        gave up (virtual completion of the wasted attempts); it stamps
+        the failed job's e2e latency and the requeue moment.
+        """
         self.fleet.isolate(worker, reason=str(exc))
         self.worker_crashes += 1
         obs.inc("service.worker_crashes")
         error = f"{type(exc).__name__}: {exc} (worker {worker.name} isolated)"
+        if done_ns is None:
+            done_ns = self.clock.now_ns()
         if job.attempts >= self.config.max_attempts or not self.fleet.available():
             job.mark_failed(error)
             obs.inc("service.jobs_failed")
             if job.submitted_ns is not None:
-                job.timings["e2e_s"] = (
-                    time.perf_counter_ns() - job.submitted_ns
-                ) / 1e9
+                job.timings["e2e_s"] = (done_ns - job.submitted_ns) / 1e9
             self._record_stage_metrics(job, worker.config_name)
         else:
             job.mark_requeued(error)
-            self.queue.requeue(job)
+            self.queue.requeue(job, now_ns=done_ns)
 
     #: timing key in ``Job.timings`` -> ``stage`` label value.
     _STAGES = (

@@ -86,6 +86,12 @@ class Worker:
         )
         self.suspect = False
         self.stats = WorkerStats()
+        #: When this worker's current job finishes, on the service clock
+        #: (0 = never dispatched). Under a wall clock this is always in
+        #: the past by the time anyone reads it (execution is
+        #: synchronous); under a virtual clock it is the busy horizon
+        #: that makes queueing-under-load observable.
+        self.busy_until_ns = 0
 
     def execute(self, job: Job, stream, program: Program) -> float:
         """Replay ``job``'s recorded trace on this worker's µarch and
@@ -133,6 +139,18 @@ class WorkerFleet:
     def available(self) -> list[Worker]:
         """Workers eligible for placement (not crash-suspect)."""
         return [w for w in self.workers if not w.suspect]
+
+    def free(self, now_ns: int) -> list[Worker]:
+        """Available workers whose busy horizon has passed at ``now_ns``
+        — the set continuous admission may place onto right now."""
+        return [w for w in self.available() if w.busy_until_ns <= now_ns]
+
+    def next_free_ns(self) -> int | None:
+        """The earliest busy horizon among available workers, or ``None``
+        if every worker is isolated. Virtual-clock dispatch advances time
+        here when all available workers are mid-job."""
+        horizons = [w.busy_until_ns for w in self.available()]
+        return min(horizons) if horizons else None
 
     def isolate(self, worker: Worker, reason: str = "") -> None:
         """Mark ``worker`` crash-suspect; it receives no further jobs."""

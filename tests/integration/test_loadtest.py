@@ -1,0 +1,171 @@
+"""Integration: the open-loop load generator under sustained traffic.
+
+The ISSUE 7 acceptance scenarios, end to end on the virtual clock:
+
+- **Overload** (diurnal burst past fleet capacity): the open-loop
+  driver keeps offering at the scheduled instants, so the bounded queue
+  sheds — ``loadtest.shed`` counters are nonzero, the queue-wait tail
+  spreads far past the median (p99 ≫ p50), and the run breaches the
+  example SLO spec (``repro slo check`` exits 2).
+- **Below capacity** (gentle Poisson): nothing sheds and the same SLO
+  spec passes — ``repro slo check`` exits 0 on the exported run.json.
+- **Determinism**: the same ``(spec, config)`` reproduces the same
+  schedules (equal SHA-256 digests) and identical per-leg counts.
+- **Closed loop**: at the very same overload rate, closed-loop
+  admission sheds nothing — the control demonstrating why closed-loop
+  harnesses hide overload (coordinated omission).
+
+Every run here simulates tens of virtual seconds in wall milliseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import resilience
+from repro.api import ServiceConfig, loadtest
+from repro.cli import main
+from repro.loadgen import LoadtestSpec, run_loadtest
+from repro.obs import load_run, telemetry_session
+
+#: Proxy sizing shared with the service integration tests.
+QUICK = dict(width=48, height=32, n_frames=4)
+
+SLO_SPEC = (Path(__file__).resolve().parents[2]
+            / "examples" / "slo" / "loadtest.json")
+
+#: One diurnal period whose peak bursts far past the 4-worker QUICK
+#: fleet (~12-15 jobs/virtual-s) while the trough idles it: the bounded
+#: queue fills at the peak (shedding) yet drains between bursts, so the
+#: queue-wait distribution is strongly bimodal (p99 >> p50).
+OVERLOAD_SPEC = LoadtestSpec(
+    arrivals="diurnal",
+    rates=(10.0,),
+    duration_s=40.0,
+    seed=11,
+    arrival_extras={"amplitude": 0.95, "period_s": 40.0},
+)
+OVERLOAD_CONFIG = dict(queue_capacity=16, **QUICK)
+
+
+@pytest.fixture(autouse=True)
+def clean_resilience():
+    resilience.reset()
+    yield
+    resilience.reset()
+
+
+class TestOverload:
+    @pytest.fixture(scope="class")
+    def run(self):
+        resilience.reset()
+        with telemetry_session() as tel:
+            report = run_loadtest(
+                OVERLOAD_SPEC, ServiceConfig(**OVERLOAD_CONFIG)
+            )
+            metrics = tel.metrics.as_dict()
+        return report, metrics
+
+    def test_open_loop_sheds_under_overload(self, run):
+        report, metrics = run
+        (leg,) = report.legs
+        assert leg.shed > 0
+        assert metrics["loadtest.shed"] == leg.shed
+        assert metrics["loadtest.offered"] == leg.offered
+
+    def test_offered_splits_into_admitted_plus_shed(self, run):
+        report, metrics = run
+        (leg,) = run[0].legs
+        assert leg.offered == leg.admitted + leg.shed
+        assert leg.admitted == leg.completed + leg.failed
+        assert metrics["loadtest.admitted"] == leg.admitted
+        assert metrics["loadtest.completed"] == leg.completed
+
+    def test_queue_wait_tail_spreads_past_median(self, run):
+        (leg,) = run[0].legs
+        assert leg.queue_wait_p50_s > 0.0
+        assert leg.queue_wait_p99_s >= 2.0 * leg.queue_wait_p50_s
+
+    def test_overload_breaches_slo(self, tmp_path, capsys):
+        out = tmp_path / "tel"
+        loadtest(
+            OVERLOAD_SPEC,
+            ServiceConfig(**OVERLOAD_CONFIG),
+            telemetry_dir=out,
+            slo_spec=SLO_SPEC,
+        )
+        art = load_run(out / "run.json")
+        assert art["slo"]["ok"] is False
+        assert "shed-rate" in art["slo"]["breached"]
+        assert "queue-wait-p99" in art["slo"]["breached"]
+        # The shed accounting travels in run.json's meta section ...
+        leg = art["meta"]["loadtest"]["legs"][0]
+        assert leg["shed"] > 0
+        assert leg["offered"] == leg["admitted"] + leg["shed"]
+        # ... and `repro slo check` gates on the breach with exit 2.
+        code = main(["slo", "check", str(out / "run.json"),
+                     "--spec", str(SLO_SPEC)])
+        assert code == 2
+        assert "BREACHED" in capsys.readouterr().out
+
+
+class TestBelowCapacity:
+    def test_cli_run_passes_slo_check(self, tmp_path, capsys):
+        out = tmp_path / "tel"
+        code = main([
+            "loadtest", "--arrivals", "poisson", "--rate", "4",
+            "--duration", "10", "--seed", "5", "--quick",
+            "--telemetry", str(out), "--slo", str(SLO_SPEC),
+        ])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "loadtest — poisson arrivals" in rendered
+
+        art = load_run(out / "run.json")
+        assert art["experiment"] == "loadtest"
+        assert art["slo"]["ok"] is True
+        (leg,) = art["meta"]["loadtest"]["legs"]
+        assert leg["shed"] == 0
+        assert leg["completed"] == leg["offered"]
+
+        code = main(["slo", "check", str(out / "run.json"),
+                     "--spec", str(SLO_SPEC)])
+        assert code == 0
+        assert "all objectives met" in capsys.readouterr().out
+
+
+class TestDeterminism:
+    def test_same_spec_reproduces_schedules_and_counts(self):
+        config = ServiceConfig(**OVERLOAD_CONFIG)
+        first = run_loadtest(OVERLOAD_SPEC, config)
+        second = run_loadtest(OVERLOAD_SPEC, config)
+        assert first.to_payload() == second.to_payload()
+        assert (first.legs[0].schedule_digest
+                == second.legs[0].schedule_digest)
+
+    def test_cli_runs_are_deterministic(self, tmp_path, capsys):
+        payloads = []
+        for name in ("a", "b"):
+            out = tmp_path / name
+            assert main([
+                "loadtest", "--arrivals", "poisson", "--rate", "6",
+                "--duration", "8", "--seed", "3", "--quick",
+                "--telemetry", str(out),
+            ]) == 0
+            payloads.append(load_run(out / "run.json")["meta"]["loadtest"])
+        capsys.readouterr()
+        assert payloads[0] == payloads[1]
+
+
+class TestClosedLoop:
+    def test_closed_loop_never_sheds_at_the_same_rate(self):
+        spec = dataclasses.replace(OVERLOAD_SPEC, open_loop=False)
+        report = run_loadtest(spec, ServiceConfig(**OVERLOAD_CONFIG))
+        (leg,) = report.legs
+        assert leg.shed == 0
+        assert leg.admitted == leg.offered
+        assert leg.completed == leg.offered

@@ -18,9 +18,11 @@ import pytest
 from repro import resilience
 from repro.experiments.cache import ResultCache, record_to_payload
 from repro.experiments.runner import QUICK, SweepFailure, SweepRunner
+from repro.loadgen import LoadtestSpec, run_loadtest
 from repro.obs import telemetry_session
 from repro.resilience import RetryPolicy
 from repro.resilience.faults import InjectedFault
+from repro.service import ServiceConfig
 
 #: QUICK proxy geometry with a trimmed grid — four cells exercise the
 #: parallel, retry, and checkpoint paths as well as 24 would.
@@ -199,6 +201,40 @@ class TestCacheCorruption:
         assert metrics["retry.retries.cache.read"] == 1
         assert "sweep.profiles" not in metrics  # all four still disk hits
         assert metrics["sweep.disk_hits"] == 4
+
+
+class TestLoadtestUnderChaos:
+    """ISSUE 7 satellite: the open-loop load generator's shed-load
+    accounting stays *closed* under injected worker crashes — every
+    offered request is either completed, shed, or failed, and the
+    crash retries surface as a ``retry_overhead`` latency series."""
+
+    def test_accounting_closes_under_worker_crashes(self):
+        # Crash the 3rd and 7th worker executions: two of the four
+        # workers get isolated mid-run, halving capacity while the
+        # open-loop driver keeps offering at 20 req/s.
+        resilience.install_plan("service.worker,at=3|7,raise=RuntimeError")
+        spec = LoadtestSpec(
+            arrivals="poisson", rates=(20.0,), duration_s=10.0, seed=7
+        )
+        config = ServiceConfig(
+            width=48, height=32, n_frames=4, queue_capacity=8
+        )
+        with telemetry_session() as tel:
+            report = run_loadtest(spec, config)
+        metrics = tel.metrics.as_dict()
+        (leg,) = report.legs
+
+        assert metrics["service.worker_crashes"] == 2
+        assert leg.shed > 0  # overload sheds even before the crashes
+        # The contract: nothing vanishes. offered = admitted + shed and
+        # every admitted job reaches a terminal state.
+        assert leg.offered == leg.completed + leg.shed + leg.failed
+        assert metrics["loadtest.offered"] == leg.offered
+        assert metrics["loadtest.shed"] == leg.shed
+        # Crashed placements charge their wasted attempts to the job:
+        # the retry_overhead stage series shows up in the histograms.
+        assert any('stage="retry_overhead"' in key for key in metrics)
 
 
 class TestCombinedChaos:

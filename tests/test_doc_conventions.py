@@ -13,7 +13,13 @@ import pkgutil
 
 import pytest
 
-AUDITED_PACKAGES = ["repro.codec", "repro.bench", "repro.api", "repro.service"]
+AUDITED_PACKAGES = [
+    "repro.codec",
+    "repro.bench",
+    "repro.api",
+    "repro.service",
+    "repro.loadgen",
+]
 
 
 def _modules():

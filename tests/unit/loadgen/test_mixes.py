@@ -1,0 +1,80 @@
+"""Unit tests for workload mixes: weights, sampling, validation."""
+
+import pytest
+
+from repro.api.types import TranscodeRequest
+from repro.loadgen.mixes import MIXES, MixTemplate, WorkloadMix, make_mix
+from repro.scheduling.task import TABLE_III_TASKS
+
+
+class TestTemplates:
+    def test_template_stamps_typed_requests(self):
+        template = MixTemplate("cricket", "slow", 18, refs=4, weight=2.0)
+        request = template.request(priority=1)
+        assert isinstance(request, TranscodeRequest)
+        assert (request.clip, request.preset, request.crf) == (
+            "cricket", "slow", 18
+        )
+        assert request.refs == 4
+        assert request.priority == 1
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight must be > 0"):
+            MixTemplate("cricket", weight=0.0)
+
+    def test_validates_request_contract_eagerly(self):
+        # Bad templates fail at construction, not at sample time.
+        with pytest.raises(ValueError, match="preset"):
+            MixTemplate("cricket", preset="warp9")
+        with pytest.raises(ValueError, match="crf"):
+            MixTemplate("cricket", crf=99)
+
+
+class TestWorkloadMix:
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError, match="no templates"):
+            WorkloadMix(name="hollow", templates=())
+
+    def test_weights_normalize(self):
+        mix = make_mix("hd_streams")
+        weights = mix.weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_sampling_is_deterministic_and_weighted(self):
+        mix = make_mix("screencast")
+        a = mix.sample(64, seed=9)
+        b = mix.sample(64, seed=9)
+        assert [r.to_payload() for r in a] == [r.to_payload() for r in b]
+        assert mix.sample(64, seed=10) != a  # a different stream
+        assert {r.clip for r in a} <= {"desktop", "presentation"}
+
+    def test_sample_rejects_negative_n(self):
+        with pytest.raises(ValueError, match="sample size"):
+            make_mix("table3").sample(-1)
+
+    def test_sample_zero_is_empty(self):
+        assert make_mix("table3").sample(0) == []
+
+    def test_describe_lists_every_template(self):
+        mix = make_mix("entropy_spread")
+        text = mix.describe()
+        for template in mix.templates:
+            assert template.clip in text
+
+
+class TestBuiltinMixes:
+    def test_registry_names_match_members(self):
+        for name, mix in MIXES.items():
+            assert mix.name == name
+
+    def test_table3_mirrors_the_paper_mix(self):
+        mix = make_mix("table3")
+        assert len(mix.templates) == len(TABLE_III_TASKS)
+        assert [t.clip for t in mix.templates] == [
+            t.video for t in TABLE_III_TASKS
+        ]
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(ValueError, match="unknown workload mix"):
+            make_mix("nightly")

@@ -149,6 +149,49 @@ class TestCrashIsolation:
         assert len(service.fleet.available()) == len(DEFAULT_FLEET)
 
 
+class TestVirtualClockTimings:
+    """Regression: queue wait is stamped at *placement*, not round
+    start. The old round-based loop folded earlier batch members'
+    encode time into later members' queue wait; under continuous
+    admission ``queue_wait == placement_time - admission_time`` by
+    construction, checked here on a deterministic 2-job / 1-worker
+    scenario over the virtual clock."""
+
+    def _drained(self):
+        from repro.loadgen.clock import VirtualClock
+
+        service = TranscodeService(
+            ServiceConfig(fleet=("fe_op",), **TINY),
+            clock=VirtualClock(),
+        )
+        service.submit(TranscodeRequest(clip="cricket"))
+        service.submit(TranscodeRequest(clip="cricket"))
+        report = service.run_until_idle()
+        assert report.completed == 2
+        first, second = service.statuses()
+        return first.timings, second.timings
+
+    def test_queue_wait_is_placement_minus_admission(self):
+        first, second = self._drained()
+        # Job 1 is placed the instant the drain starts: zero wait.
+        assert first["queue_wait_s"] == 0.0
+        # Job 2 waits exactly as long as job 1 occupies the only
+        # worker — its placement instant *is* job 1's completion.
+        assert second["queue_wait_s"] == pytest.approx(
+            first["encode_s"], abs=1e-12
+        )
+        # Identical requests charge identical virtual encode time, so
+        # any extra wait would be the old round-barrier artifact.
+        assert second["encode_s"] == first["encode_s"]
+
+    def test_e2e_decomposes_into_stages(self):
+        for timings in self._drained():
+            assert timings["placement_s"] == 0.0  # virtual: no decision cost
+            assert timings["e2e_s"] == pytest.approx(
+                timings["queue_wait_s"] + timings["encode_s"], abs=1e-12
+            )
+
+
 class TestCheckpointResume:
     def test_resume_restores_pending_jobs(self, tmp_path):
         ckpt = tmp_path / "service.json"
