@@ -48,6 +48,9 @@ from repro.api.types import (
 #: eager package imports here would close that cycle.
 _LAZY_EXPORTS = {
     "encode": ("repro.api.facade", "encode"),
+    "fleet_compare": ("repro.api.facade", "fleet_compare"),
+    "FleetCompareReport": ("repro.service.fleetcompare", "FleetCompareReport"),
+    "FleetDef": ("repro.service.fleetcompare", "FleetDef"),
     "loadtest": ("repro.api.facade", "loadtest"),
     "LoadtestReport": ("repro.loadgen.driver", "LoadtestReport"),
     "LoadtestSpec": ("repro.loadgen.driver", "LoadtestSpec"),
@@ -79,6 +82,8 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "ENV_VARS",
+    "FleetCompareReport",
+    "FleetDef",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",
@@ -93,6 +98,7 @@ __all__ = [
     "TranscodeRequest",
     "TranscodeResult",
     "encode",
+    "fleet_compare",
     "loadtest",
     "profile",
     "render_experiment",

@@ -1,5 +1,5 @@
-"""The six blessed entry points: encode, profile, sweep, schedule,
-serve, loadtest.
+"""The seven blessed entry points: encode, profile, sweep, schedule,
+serve, loadtest, fleet_compare.
 
 One function per workflow, all consuming/producing the typed records in
 :mod:`repro.api.types`. The CLI, the experiments, and the service layer
@@ -13,11 +13,15 @@ deprecated shims.
 - :func:`schedule` — the batch scheduler case study (Fig. 9);
 - :func:`serve` — a synchronous pass of the long-lived job service;
 - :func:`loadtest` — an open-loop sustained-traffic run against the
-  service on a virtual clock.
+  service on a virtual clock;
+- :func:`fleet_compare` — one workload across heterogeneous
+  instance-typed fleets, tabulating throughput/$, p99 e2e, and cost per
+  completed job (smart vs. the random control).
 
-``sweep``, ``serve``, and ``loadtest`` accept ``telemetry_dir`` and then
-export ``run.json`` / ``events.jsonl`` / ``trace.json`` artifacts around
-the run, exactly like the CLI's ``--telemetry`` flag.
+``sweep``, ``serve``, ``loadtest``, and ``fleet_compare`` accept
+``telemetry_dir`` and then export ``run.json`` / ``events.jsonl`` /
+``trace.json`` artifacts around the run, exactly like the CLI's
+``--telemetry`` flag.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from repro.video.vbench import load_video
 
 __all__ = [
     "encode",
+    "fleet_compare",
     "loadtest",
     "profile",
     "render_experiment",
@@ -443,4 +448,82 @@ def loadtest(
                 print(
                     f"[loadtest] telemetry: {paths['run']}", file=sys.stderr
                 )
+    return report
+
+
+def fleet_compare(
+    fleets=None,
+    *,
+    objective: str | None = None,
+    mix: str = "table3",
+    count: int = 16,
+    seed: int = 0,
+    deadline_s: float | None = None,
+    budget_usd: float | None = None,
+    width: int = 112,
+    height: int = 64,
+    n_frames: int = 10,
+    telemetry_dir: str | Path | None = None,
+    settings: Settings | None = None,
+):
+    """Compare heterogeneous fleets on one workload, smart vs. random.
+
+    Runs :func:`repro.service.run_fleet_compare` — the serving-mode
+    analogue of the cited papers' per-instance-type cost tables — over
+    ``fleets`` (default: the shipped
+    :data:`~repro.service.fleetcompare.EXAMPLE_FLEETS`), under the
+    chosen Pareto ``objective`` (``min-cost`` under ``deadline_s``, or
+    ``min-latency`` under a per-core ``budget_usd`` $/hour). With
+    ``telemetry_dir`` the run exports artifacts under ``experiment:
+    "fleet-compare"`` and the per-fleet table lands in ``run.json``'s
+    ``meta.fleet_compare`` section, which ``repro report`` renders and
+    ``repro diff`` compares across runs.
+    """
+    from repro.service.fleetcompare import run_fleet_compare
+
+    if settings is not None:
+        settings.apply()
+    if objective is None:
+        # A plain-throughput objective gives the cost comparison nothing
+        # to optimize, so it never applies implicitly: an explicit
+        # argument wins, then a cost-aware Settings objective, then the
+        # min-cost default.
+        from_settings = settings.objective if settings is not None else None
+        objective = (
+            from_settings
+            if from_settings not in (None, "throughput")
+            else "min-cost"
+        )
+    kwargs = dict(
+        objective=objective, mix=mix, count=count, seed=seed,
+        deadline_s=deadline_s, budget_usd=budget_usd,
+        width=width, height=height, n_frames=n_frames,
+    )
+    if telemetry_dir is None:
+        return run_fleet_compare(fleets, **kwargs)
+
+    from repro.obs import current, export_session, telemetry_session
+
+    session_cm = nullcontext(current()) if current() else telemetry_session()
+    t0 = time.perf_counter()
+    status = "ok"
+    with session_cm as tel:
+        try:
+            report = run_fleet_compare(fleets, **kwargs)
+        except Exception:
+            status = "failed"
+            raise
+        finally:
+            paths = export_session(
+                tel,
+                telemetry_dir,
+                experiment="fleet-compare",
+                scale=objective,
+                wall_seconds=time.perf_counter() - t0,
+                status=status,
+            )
+            print(
+                f"[fleet-compare] telemetry: {paths['run']}",
+                file=sys.stderr,
+            )
     return report

@@ -43,6 +43,8 @@ ENV_VARS = {
     "REPRO_LOADTEST_RATE": "loadtest_rate",
     "REPRO_LOADTEST_DURATION": "loadtest_duration",
     "REPRO_LOADTEST_MIX": "loadtest_mix",
+    "REPRO_FLEET": "fleet",
+    "REPRO_OBJECTIVE": "objective",
 }
 
 _TRUTHY = ("1", "true", "yes", "on")
@@ -82,6 +84,11 @@ class Settings:
     loadtest_rate: tuple[float, ...] = (8.0,)
     loadtest_duration: float = 30.0
     loadtest_mix: str = "table3"
+    #: Default fleet spec for serve/loadtest (``name[:count][:$rate]``
+    #: clauses; ``None`` = the Table IV default fleet).
+    fleet: str | None = None
+    #: Smart-placement Pareto objective for the service layer.
+    objective: str = "throughput"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -119,6 +126,18 @@ class Settings:
             from repro.resilience.faults import parse_fault_plan
 
             parse_fault_plan(self.fault_plan)
+        from repro.service.placement import OBJECTIVES
+
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {', '.join(OBJECTIVES)}"
+            )
+        if self.fleet is not None:
+            # Same eager-validation convention as fault_plan above.
+            from repro.service.workers import parse_fleet_spec
+
+            parse_fleet_spec(self.fleet)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -176,6 +195,12 @@ class Settings:
         mix_raw = os.environ.get("REPRO_LOADTEST_MIX", "").strip()
         if mix_raw:
             kwargs["loadtest_mix"] = mix_raw.lower()
+        fleet_raw = os.environ.get("REPRO_FLEET", "").strip()
+        if fleet_raw:
+            kwargs["fleet"] = fleet_raw
+        objective_raw = os.environ.get("REPRO_OBJECTIVE", "").strip()
+        if objective_raw:
+            kwargs["objective"] = objective_raw.lower()
         kwargs["retry"] = RetryPolicy.from_env()
         return cls(**kwargs)  # type: ignore[arg-type]
 
@@ -198,6 +223,8 @@ class Settings:
         loadtest_rate: str | tuple[float, ...] | None = None,
         loadtest_duration: float | None = None,
         loadtest_mix: str | None = None,
+        fleet: str | None = None,
+        objective: str | None = None,
     ) -> "Settings":
         """Resolve CLI flags over the environment over the defaults.
 
@@ -241,6 +268,10 @@ class Settings:
             updates["loadtest_duration"] = float(loadtest_duration)
         if loadtest_mix is not None:
             updates["loadtest_mix"] = loadtest_mix.lower()
+        if fleet is not None:
+            updates["fleet"] = fleet
+        if objective is not None:
+            updates["objective"] = objective.lower()
         return replace(settings, **updates) if updates else settings  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------

@@ -182,6 +182,9 @@ class JobStatus:
     #: Per-stage wall-clock seconds (queue_wait_s, placement_s,
     #: encode_s, retry_overhead_s, e2e_s), filled as the job progresses.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Dollars billed for this job's worker occupancy (encode plus any
+    #: retry/crash time, at the executing workers' hourly rates).
+    cost_usd: float = 0.0
 
     def __post_init__(self) -> None:
         if self.state not in JOB_STATES:
@@ -211,4 +214,5 @@ class JobStatus:
             "result": None if self.result is None else self.result.to_payload(),
             "trace_id": self.trace_id,
             "timings": dict(self.timings),
+            "cost_usd": self.cost_usd,
         }

@@ -25,6 +25,11 @@ Examples::
     repro loadtest --arrivals poisson --rate 4,16,40 --duration 30 --quick
     repro loadtest --arrivals diurnal --rate 12 --amplitude 0.9 \
         --telemetry out-load/ --slo examples/slo/loadtest.json
+    repro serve --mix table3 --fleet 'c6g.xlarge,a1.xlarge' \
+        --objective min-cost --deadline-s 600
+    repro fleet-compare --quick             # x86 vs Arm vs mixed, smart vs random
+    repro fleet-compare --objective min-latency --budget-usd 0.05 \
+        --fleet 'cheap=a1.xlarge:2' --fleet 'fast=c5.xlarge,c6g.xlarge'
 
 Every flag falls back to its environment variable with one documented
 precedence order — **CLI flag > environment > default** — implemented by
@@ -32,8 +37,9 @@ precedence order — **CLI flag > environment > default** — implemented by
 ``REPRO_KERNELS``, ``REPRO_FAULT_PLAN``, ``REPRO_RESUME``,
 ``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``, ``REPRO_SLO_SPEC``,
 ``REPRO_METRICS_OUT``, ``REPRO_METRICS_INTERVAL``,
-``REPRO_LOADTEST_*``). Subcommands read only the resolved ``Settings``;
-nothing else consults the environment.
+``REPRO_LOADTEST_*``, ``REPRO_FLEET``, ``REPRO_OBJECTIVE``).
+Subcommands read only the resolved ``Settings``; nothing else consults
+the environment.
 
 A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
@@ -50,7 +56,15 @@ offered-rate vs. achieved-throughput/latency table (shed load included;
 exit 1 if any job finished ``failed``). With ``--slo SPEC.json`` the run is
 evaluated against a declarative SLO spec (the verdict lands in
 ``run.json``); with ``--metrics-out DIR`` live Prometheus-text metric
-snapshots are written while the service drains. ``repro slo check
+snapshots are written while the service drains. Fleets mix Table IV
+config workers with priced cloud instance types
+(``c5.xlarge``/``c6g.xlarge``/...), and ``--objective min-cost
+--deadline-s N`` / ``--objective min-latency --budget-usd R`` switch
+smart placement onto its cost-aware Pareto objectives. ``repro
+fleet-compare`` runs one workload across several named fleets — smart
+placement against the seeded random control — and tabulates throughput
+per provisioned dollar, p99 end-to-end latency, and cost per completed
+job (exit 1 if any fleet shed or failed jobs). ``repro slo check
 RUN.json --spec SPEC.json`` re-evaluates an exported artifact and exits
 2 on breach (the CI gate). ``repro bench`` keeps its historical
 behaviour (exit 4 on regression vs. the baseline artifact).
@@ -350,8 +364,25 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--no-control", action="store_true",
                         help="skip the random-placement control pass")
     parser.add_argument("--fleet", metavar="SPEC", default=None,
-                        help="worker fleet, e.g. 'fe_op,be_op1:2,bs_op' "
-                             "(default: one worker per Table IV variant)")
+                        help="worker fleet: 'name[:count][:$rate]' clauses "
+                             "over Table IV configs and instance types, "
+                             "e.g. 'fe_op,be_op1:2' or "
+                             "'c5.xlarge,c6g.xlarge:2:$0.10' "
+                             "(default: $REPRO_FLEET, else one worker per "
+                             "Table IV variant)")
+    parser.add_argument("--objective",
+                        choices=("throughput", "min-cost", "min-latency"),
+                        default=None,
+                        help="smart-placement objective "
+                             "(default: $REPRO_OBJECTIVE, else throughput)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job completion deadline constraining the "
+                             "cost-aware objectives (virtual seconds)")
+    parser.add_argument("--budget-usd", type=float, default=None,
+                        metavar="RATE",
+                        help="per-worker $/hour ceiling constraining the "
+                             "cost-aware objectives")
     parser.add_argument("--queue-capacity", type=int, default=64,
                         help="admission queue bound (default: 64)")
     parser.add_argument("--seed", type=int, default=0,
@@ -399,6 +430,8 @@ def _serve_main(argv: list[str]) -> int:
             slo_spec=args.slo,
             metrics_out=args.metrics_out,
             metrics_interval=args.metrics_interval,
+            fleet=args.fleet,
+            objective=args.objective,
         ).apply()
     except ValueError as exc:
         parser.error(str(exc))
@@ -424,9 +457,12 @@ def _serve_main(argv: list[str]) -> int:
     sizing = {"width": 48, "height": 32, "n_frames": 4} if args.quick else {}
     try:
         config = ServiceConfig(
-            fleet=(parse_fleet_spec(args.fleet) if args.fleet
+            fleet=(parse_fleet_spec(settings.fleet) if settings.fleet
                    else ServiceConfig.fleet),
             policy=args.policy,
+            objective=settings.objective,
+            deadline_s=args.deadline_s,
+            budget_usd=args.budget_usd,
             seed=args.seed,
             queue_capacity=args.queue_capacity,
             checkpoint_path=(Path(args.checkpoint) if args.checkpoint
@@ -512,11 +548,26 @@ def _loadtest_main(argv: list[str]) -> int:
                         metavar="SECONDS",
                         help="mmpp mean state sojourn (default: 5)")
     parser.add_argument("--fleet", metavar="SPEC", default=None,
-                        help="worker fleet, e.g. 'fe_op,be_op1:2,bs_op' "
-                             "(default: one worker per Table IV variant)")
+                        help="worker fleet: 'name[:count][:$rate]' clauses "
+                             "over Table IV configs and instance types "
+                             "(default: $REPRO_FLEET, else one worker per "
+                             "Table IV variant)")
     parser.add_argument("--policy", choices=("smart", "random"),
                         default="smart",
                         help="placement policy (default: smart)")
+    parser.add_argument("--objective",
+                        choices=("throughput", "min-cost", "min-latency"),
+                        default=None,
+                        help="smart-placement objective "
+                             "(default: $REPRO_OBJECTIVE, else throughput)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job completion deadline constraining the "
+                             "cost-aware objectives (virtual seconds)")
+    parser.add_argument("--budget-usd", type=float, default=None,
+                        metavar="RATE",
+                        help="per-worker $/hour ceiling constraining the "
+                             "cost-aware objectives")
     parser.add_argument("--queue-capacity", type=int, default=64,
                         help="admission queue bound; the knob that decides "
                              "when overload sheds (default: 64)")
@@ -557,6 +608,8 @@ def _loadtest_main(argv: list[str]) -> int:
             loadtest_rate=args.rate,
             loadtest_duration=args.duration,
             loadtest_mix=args.mix,
+            fleet=args.fleet,
+            objective=args.objective,
         ).apply()
     except ValueError as exc:
         parser.error(str(exc))
@@ -580,9 +633,12 @@ def _loadtest_main(argv: list[str]) -> int:
             arrival_extras=extras,
         )
         config = ServiceConfig(
-            fleet=(parse_fleet_spec(args.fleet) if args.fleet
+            fleet=(parse_fleet_spec(settings.fleet) if settings.fleet
                    else ServiceConfig.fleet),
             policy=args.policy,
+            objective=settings.objective,
+            deadline_s=args.deadline_s,
+            budget_usd=args.budget_usd,
             seed=args.seed,
             queue_capacity=args.queue_capacity,
             **sizing,
@@ -604,6 +660,99 @@ def _loadtest_main(argv: list[str]) -> int:
     return 1 if any(leg.failed for leg in report.legs) else 0
 
 
+def _fleet_compare_main(argv: list[str]) -> int:
+    """``repro fleet-compare``: one workload across heterogeneous fleets."""
+    parser = argparse.ArgumentParser(
+        prog="repro fleet-compare",
+        description="Run one workload across several fleet definitions "
+                    "(smart cost-aware placement vs. the seeded random "
+                    "control) and tabulate throughput per provisioned "
+                    "dollar, p99 end-to-end latency, and cost per "
+                    "completed job.",
+    )
+    parser.add_argument("--fleet", metavar="NAME=SPEC", action="append",
+                        default=None,
+                        help="add one fleet to the matrix, e.g. "
+                             "'arm=c6g.xlarge,a1.xlarge'; repeatable "
+                             "(default: the shipped x86/arm/mixed/table4 "
+                             "matrix)")
+    parser.add_argument("--objective",
+                        choices=("throughput", "min-cost", "min-latency"),
+                        default=None,
+                        help="smart-placement objective "
+                             "(default: $REPRO_OBJECTIVE if cost-aware, "
+                             "else min-cost)")
+    parser.add_argument("--mix", default="table3",
+                        help="workload: 'table3' or a loadgen mix name "
+                             "(default: table3)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="jobs per fleet (default: 16, or 8 with "
+                             "--quick)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the mix sampler and the random "
+                             "control (default: 0)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job completion deadline constraining the "
+                             "cost-aware objectives (virtual seconds)")
+    parser.add_argument("--budget-usd", type=float, default=None,
+                        metavar="RATE",
+                        help="per-worker $/hour ceiling constraining the "
+                             "cost-aware objectives")
+    parser.add_argument("--quick", action="store_true",
+                        help="small proxy clips (48x32, 4 frames) and 8 "
+                             "jobs per fleet for smokes and CI")
+    parser.add_argument("--telemetry", metavar="OUT_DIR", default=None,
+                        help="write run.json (with the per-fleet table "
+                             "under meta.fleet_compare) into OUT_DIR")
+    args = parser.parse_args(argv)
+
+    from repro.api import Settings, fleet_compare
+    from repro.service import FleetDef
+
+    try:
+        settings = Settings.resolve(objective=args.objective).apply()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    fleets = None
+    if args.fleet:
+        defs = []
+        for clause in args.fleet:
+            name, sep, spec = clause.partition("=")
+            if not sep or not name.strip() or not spec.strip():
+                parser.error(
+                    f"bad --fleet {clause!r}: expected NAME=SPEC, e.g. "
+                    "'arm=c6g.xlarge,a1.xlarge'"
+                )
+            try:
+                defs.append(FleetDef(name=name.strip(), spec=spec.strip()))
+            except ValueError as exc:
+                parser.error(f"bad --fleet {clause!r}: {exc}")
+        fleets = tuple(defs)
+
+    count = args.count if args.count is not None else (8 if args.quick else 16)
+    sizing = {"width": 48, "height": 32, "n_frames": 4} if args.quick else {}
+    try:
+        report = fleet_compare(
+            fleets,
+            objective=args.objective,
+            mix=args.mix,
+            count=count,
+            seed=args.seed,
+            deadline_s=args.deadline_s,
+            budget_usd=args.budget_usd,
+            telemetry_dir=args.telemetry,
+            settings=settings,
+            **sizing,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro fleet-compare: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 1 if any(r.failed for r in report.results) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # `list`, `report`, `cache`, `bench`, `serve`, `loadtest`, and
@@ -621,6 +770,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv[:1] == ["loadtest"]:
         return _loadtest_main(argv[1:])
+    if argv[:1] == ["fleet-compare"]:
+        return _fleet_compare_main(argv[1:])
     if argv[:1] == ["submit"]:
         return _submit_main(argv[1:])
     if argv[:1] == ["slo"]:
@@ -638,7 +789,9 @@ def main(argv: list[str] | None = None) -> int:
                "queues a job and `repro serve` runs the transcoding job "
                "service over the queue; `repro loadtest` drives the "
                "service with sustained open-loop traffic on a virtual "
-               "clock; `repro slo check RUN.json --spec SPEC.json` gates "
+               "clock; `repro fleet-compare` tabulates throughput/$ and "
+               "cost per job across heterogeneous fleets; "
+               "`repro slo check RUN.json --spec SPEC.json` gates "
                "an exported run on its SLOs (exit 2 on breach).",
     )
     parser.add_argument(

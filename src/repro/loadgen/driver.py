@@ -117,6 +117,8 @@ class LegResult:
     e2e_p50_s: float
     e2e_p90_s: float
     e2e_p99_s: float
+    cost_usd: float = 0.0          # busy-time dollars actually billed
+    provisioned_usd: float = 0.0   # fleet hourly rate × leg makespan
 
     @property
     def achieved_rps(self) -> float:
@@ -124,6 +126,20 @@ class LegResult:
         if self.makespan_s <= 0:
             return 0.0
         return self.completed / self.makespan_s
+
+    @property
+    def cost_per_completed_usd(self) -> float:
+        """Billed busy-time dollars per completed job (0 if none)."""
+        if self.completed <= 0:
+            return 0.0
+        return self.cost_usd / self.completed
+
+    @property
+    def jobs_per_dollar(self) -> float:
+        """Completions per provisioned dollar over the leg's makespan."""
+        if self.provisioned_usd <= 0:
+            return 0.0
+        return self.completed / self.provisioned_usd
 
     def to_payload(self) -> dict[str, Any]:
         """Plain-JSON form for run.json metadata."""
@@ -145,6 +161,10 @@ class LegResult:
             "e2e_p50_s": self.e2e_p50_s,
             "e2e_p90_s": self.e2e_p90_s,
             "e2e_p99_s": self.e2e_p99_s,
+            "cost_usd": self.cost_usd,
+            "provisioned_usd": self.provisioned_usd,
+            "cost_per_completed_usd": self.cost_per_completed_usd,
+            "jobs_per_dollar": self.jobs_per_dollar,
         }
 
 
@@ -172,7 +192,8 @@ class LoadtestReport:
         cols = (
             f"{'offered/s':>10s} {'achieved/s':>10s} {'offered':>8s} "
             f"{'admitted':>8s} {'shed':>6s} {'done':>6s} {'failed':>6s} "
-            f"{'wait p50':>9s} {'wait p99':>9s} {'e2e p50':>9s} {'e2e p99':>9s}"
+            f"{'wait p50':>9s} {'wait p99':>9s} {'e2e p50':>9s} "
+            f"{'e2e p99':>9s} {'jobs/$':>9s}"
         )
         lines = [head, cols]
         for leg in self.legs:
@@ -181,7 +202,8 @@ class LoadtestReport:
                 f"{leg.offered:>8d} {leg.admitted:>8d} {leg.shed:>6d} "
                 f"{leg.completed:>6d} {leg.failed:>6d} "
                 f"{leg.queue_wait_p50_s:>8.3f}s {leg.queue_wait_p99_s:>8.3f}s "
-                f"{leg.e2e_p50_s:>8.3f}s {leg.e2e_p99_s:>8.3f}s"
+                f"{leg.e2e_p50_s:>8.3f}s {leg.e2e_p99_s:>8.3f}s "
+                f"{leg.jobs_per_dollar:>9.0f}"
             )
         return "\n".join(lines)
 
@@ -275,6 +297,8 @@ def _run_leg(spec: LoadtestSpec, rate: float, config: ServiceConfig,
         e2e_p50_s=_percentile(e2es, 50),
         e2e_p90_s=_percentile(e2es, 90),
         e2e_p99_s=_percentile(e2es, 99),
+        cost_usd=service.fleet.cost_usd(),
+        provisioned_usd=service.fleet.hourly_rate * makespan_s / 3600.0,
     )
 
 

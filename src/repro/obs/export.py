@@ -320,6 +320,11 @@ def render_run(artifact: dict[str, object]) -> str:
     loadtest = meta.get("loadtest") if isinstance(meta, dict) else None
     if isinstance(loadtest, dict):
         parts.append("\n" + _render_loadtest_section(loadtest))
+    fleet_compare = (
+        meta.get("fleet_compare") if isinstance(meta, dict) else None
+    )
+    if isinstance(fleet_compare, dict):
+        parts.append("\n" + _render_fleet_compare_section(fleet_compare))
     latency = _stage_latency_rows(artifact)
     if latency:
         parts.append("\nstage latency (per config):\n"
@@ -388,6 +393,38 @@ def _render_loadtest_section(loadtest: dict[str, object]) -> str:
     table = format_table(
         ["offered/s", "achieved/s", "offered", "admitted", "shed", "done",
          "failed", "wait p50", "wait p99", "e2e p50", "e2e p99"],
+        rows, floatfmt=".4g",
+    )
+    return f"{head}\n{table}"
+
+
+def _render_fleet_compare_section(fc: dict[str, object]) -> str:
+    """The per-fleet cost table from an artifact's ``meta.fleet_compare``
+    payload: throughput per provisioned dollar, p99 end-to-end latency,
+    and cost per completed job, best throughput/$ first."""
+    head = (
+        f"fleet-compare: objective={fc.get('objective', '?')}, "
+        f"mix={fc.get('mix', '?')}, jobs={fc.get('count', '?')}, "
+        f"seed={fc.get('seed', '?')}"
+    )
+    if fc.get("deadline_s") is not None:
+        head += f", deadline={fc['deadline_s']}s"
+    if fc.get("budget_usd") is not None:
+        head += f", budget=${fc['budget_usd']}/h"
+    fleets = [f for f in fc.get("fleets") or [] if isinstance(f, dict)]
+    fleets.sort(key=lambda f: float(f.get("jobs_per_dollar", 0.0)),
+                reverse=True)
+    rows = [
+        [(f.get("fleet") or {}).get("name", "?"), f.get("workers", 0),
+         f.get("hourly_usd", 0.0), f.get("completed", 0),
+         f.get("failed", 0), f.get("jobs_per_dollar", 0.0),
+         f.get("e2e_p99_s", 0.0), f.get("cost_per_completed_usd", 0.0),
+         f"{float(f.get('cost_margin_vs_control_pct', 0.0)):+.1f}%"]
+        for f in fleets
+    ]
+    table = format_table(
+        ["fleet", "workers", "$/hour", "done", "failed", "jobs/$",
+         "e2e p99 s", "$/job", "vs random"],
         rows, floatfmt=".4g",
     )
     return f"{head}\n{table}"
@@ -495,6 +532,39 @@ def diff_runs(a: dict[str, object], b: dict[str, object]) -> str:
         parts.append("stage latency p99 (per config):\n"
                      + format_table(["stage", "config", "a", "b", "delta"],
                                     rows))
+    def _fleet_index(artifact: dict[str, object]) -> dict[str, dict]:
+        meta = artifact.get("meta")
+        fc = meta.get("fleet_compare") if isinstance(meta, dict) else None
+        if not isinstance(fc, dict):
+            return {}
+        return {
+            (f.get("fleet") or {}).get("name", "?"): f
+            for f in fc.get("fleets") or []
+            if isinstance(f, dict)
+        }
+
+    fca, fcb = _fleet_index(a), _fleet_index(b)
+    if fca or fcb:
+        rows = []
+        for name in sorted(set(fca) | set(fcb)):
+            ra, rb = fca.get(name), fcb.get(name)
+            jpd_a = float(ra.get("jobs_per_dollar", 0.0)) if ra else None
+            jpd_b = float(rb.get("jobs_per_dollar", 0.0)) if rb else None
+            if jpd_a is None or jpd_b is None:
+                delta = "(only one run)"
+            else:
+                delta = format(jpd_b - jpd_a, "+.4g")
+                if jpd_a:
+                    delta += f" ({(jpd_b - jpd_a) / jpd_a * 100.0:+.2f}%)"
+            rows.append([
+                name,
+                "-" if jpd_a is None else format(jpd_a, ".4g"),
+                "-" if jpd_b is None else format(jpd_b, ".4g"),
+                delta,
+            ])
+        parts.append("fleet-compare throughput/$ (jobs per provisioned "
+                     "dollar):\n"
+                     + format_table(["fleet", "a", "b", "delta"], rows))
     sa, sb = a.get("slo"), b.get("slo")
     if isinstance(sa, dict) or isinstance(sb, dict):
         objs_a = {o.get("name"): o for o in

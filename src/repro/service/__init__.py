@@ -15,16 +15,28 @@ Pieces:
 - :mod:`repro.service.workers` — the warm, config-pinned worker fleet
   with crash-suspect isolation;
 - :mod:`repro.service.placement` — SmartScheduler-style vs. random
-  online placement;
+  online placement, with cost-aware Pareto objectives (min cost under a
+  deadline / min latency under a $/hour budget) over instance-typed
+  fleets;
 - :mod:`repro.service.service` — the service object, dispatch loop,
-  checkpointing, and report.
+  checkpointing, and report;
+- :mod:`repro.service.fleetcompare` — the heterogeneous-fleet
+  comparison driver behind ``repro fleet-compare``.
 
 Use through :func:`repro.api.serve` / ``repro serve`` rather than
 directly; the facade adds telemetry artifacts around a run.
 """
 
+from repro.service.fleetcompare import (
+    EXAMPLE_FLEETS,
+    FleetCompareReport,
+    FleetDef,
+    FleetResult,
+    run_fleet_compare,
+)
 from repro.service.jobs import Job
 from repro.service.placement import (
+    OBJECTIVES,
     PLACEMENT_POLICIES,
     RandomPlacement,
     SmartPlacement,
@@ -40,6 +52,8 @@ from repro.service.service import (
 )
 from repro.service.workers import (
     DEFAULT_FLEET,
+    DEFAULT_RATE_PER_HOUR,
+    FleetEntry,
     Worker,
     WorkerFleet,
     parse_fleet_spec,
@@ -48,7 +62,14 @@ from repro.service.workers import (
 __all__ = [
     "BoundedJobQueue",
     "DEFAULT_FLEET",
+    "DEFAULT_RATE_PER_HOUR",
+    "EXAMPLE_FLEETS",
+    "FleetCompareReport",
+    "FleetDef",
+    "FleetEntry",
+    "FleetResult",
     "Job",
+    "OBJECTIVES",
     "PLACEMENT_POLICIES",
     "QueueFullError",
     "RandomPlacement",
@@ -60,6 +81,7 @@ __all__ = [
     "WorkerFleet",
     "make_policy",
     "parse_fleet_spec",
+    "run_fleet_compare",
     "run_service",
     "table3_requests",
 ]

@@ -44,6 +44,9 @@ class Job:
     #: Per-stage wall-clock seconds, accumulated across requeues
     #: (queue_wait_s, placement_s, encode_s, retry_overhead_s, e2e_s).
     timings: dict[str, float] = field(default_factory=dict)
+    #: Dollars billed for this job's worker occupancy, accumulated
+    #: across placement attempts (crashed attempts still billed).
+    cost_usd: float = 0.0
     #: Transient perf-counter stamps (monotonic ns); never serialized —
     #: a restored job simply restarts its clocks on readmission.
     submitted_ns: int | None = field(default=None, repr=False, compare=False)
@@ -100,6 +103,7 @@ class Job:
             result=self.result,
             trace_id=self.trace_id,
             timings=dict(self.timings),
+            cost_usd=self.cost_usd,
         )
 
     # -- serde ---------------------------------------------------------
@@ -117,6 +121,7 @@ class Job:
             "result": None if self.result is None else self.result.to_payload(),
             "trace_id": self.trace_id,
             "timings": dict(self.timings),
+            "cost_usd": self.cost_usd,
         }
 
     @classmethod
@@ -136,4 +141,5 @@ class Job:
             trace_id=payload.get("trace_id"),
             timings={k: float(v)
                      for k, v in (payload.get("timings") or {}).items()},
+            cost_usd=float(payload.get("cost_usd", 0.0)),
         )

@@ -62,7 +62,12 @@ from repro.profiling.counters import CounterSet
 from repro.resilience.retry import call_with_retry
 from repro.scheduling.task import TABLE_III_TASKS
 from repro.service.jobs import Job
-from repro.service.placement import PLACEMENT_POLICIES, make_policy
+from repro.service.placement import (
+    OBJECTIVES,
+    PLACEMENT_POLICIES,
+    SmartPlacement,
+    make_policy,
+)
 from repro.service.queue import BoundedJobQueue
 from repro.service.workers import DEFAULT_FLEET, WorkerFleet
 from repro.trace.kernels import build_program
@@ -83,8 +88,21 @@ __all__ = [
 class ServiceConfig:
     """Everything that shapes one service instance."""
 
-    fleet: tuple[str, ...] = DEFAULT_FLEET
+    #: Fleet members: Table IV config names and/or parsed
+    #: :class:`~repro.service.workers.FleetEntry` clauses (instance
+    #: types expand to one worker per physical core).
+    fleet: tuple = DEFAULT_FLEET
     policy: str = "smart"
+    #: Smart-placement Pareto objective: ``throughput`` (seeded
+    #: affinity behaviour), ``min-cost`` (dollars under the deadline),
+    #: or ``min-latency`` (seconds under the $/hour budget).
+    objective: str = "throughput"
+    #: Policy-wide latency deadline in virtual seconds (a request's own
+    #: ``deadline_ms`` overrides it per job).
+    deadline_s: float | None = None
+    #: Per-worker $/hour budget: cost-aware placement never uses a
+    #: worker billed above this rate.
+    budget_usd: float | None = None
     seed: int = 0
     queue_capacity: int = 64
     max_attempts: int = 3            # placement attempts per job
@@ -106,10 +124,19 @@ class ServiceConfig:
                 f"unknown placement policy {self.policy!r}; "
                 f"choose from {', '.join(PLACEMENT_POLICIES)}"
             )
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {', '.join(OBJECTIVES)}"
+            )
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.clock_hz <= 0:
             raise ValueError("clock_hz must be > 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if self.budget_usd is not None and self.budget_usd <= 0:
+            raise ValueError("budget_usd must be > 0")
 
 
 def table3_requests(count: int = len(TABLE_III_TASKS)) -> list[TranscodeRequest]:
@@ -153,8 +180,32 @@ class ServiceReport:
     mean_speedup_pct: float
     worker_crashes: int
     placements: dict[int, str]       # job_id -> "worker (config)"
+    objective: str = "throughput"
+    #: Dollars actually billed for worker occupancy (busy time x rate).
+    cost_usd: float = 0.0
+    #: The fleet's provisioned $/hour and what the run's makespan cost
+    #: at that rate — the denominator of throughput-per-dollar.
+    fleet_hourly_usd: float = 0.0
+    makespan_s: float = 0.0
+    provisioned_usd: float = 0.0
+    e2e_p99_s: float = 0.0
     statuses: list[JobStatus] = field(repr=False, default_factory=list)
     control: "ServiceReport | None" = None
+
+    @property
+    def cost_per_completed_usd(self) -> float:
+        """Billed dollars per completed job (0 when nothing completed)."""
+        if self.completed == 0:
+            return 0.0
+        return self.cost_usd / self.completed
+
+    @property
+    def jobs_per_dollar(self) -> float:
+        """Throughput per provisioned dollar: completed jobs over what
+        the fleet cost to rent for the run's makespan."""
+        if self.provisioned_usd <= 0:
+            return 0.0
+        return self.completed / self.provisioned_usd
 
     @property
     def margin_vs_control_pp(self) -> float | None:
@@ -174,6 +225,14 @@ class ServiceReport:
             "mean_latency_cycles": self.mean_latency_cycles,
             "mean_speedup_pct": self.mean_speedup_pct,
             "worker_crashes": self.worker_crashes,
+            "objective": self.objective,
+            "cost_usd": self.cost_usd,
+            "fleet_hourly_usd": self.fleet_hourly_usd,
+            "makespan_s": self.makespan_s,
+            "provisioned_usd": self.provisioned_usd,
+            "cost_per_completed_usd": self.cost_per_completed_usd,
+            "jobs_per_dollar": self.jobs_per_dollar,
+            "e2e_p99_s": self.e2e_p99_s,
             "placements": {str(k): v for k, v in self.placements.items()},
             "jobs": [s.to_payload() for s in self.statuses],
         }
@@ -191,6 +250,13 @@ class ServiceReport:
             f"  mean job latency: {self.mean_latency_cycles:,.0f} cycles",
             f"  mean speedup over baseline: {self.mean_speedup_pct:+.2f}%",
         ]
+        if self.cost_usd > 0:
+            lines.append(
+                f"  cost: ${self.cost_usd:.6f} billed "
+                f"(${self.cost_per_completed_usd:.6f}/job, fleet "
+                f"${self.fleet_hourly_usd:.3f}/h, objective="
+                f"{self.objective})"
+            )
         if self.worker_crashes:
             lines.append(
                 f"  worker crashes isolated: {self.worker_crashes}"
@@ -242,8 +308,17 @@ class TranscodeService:
         self.fleet = WorkerFleet(
             self.config.fleet,
             data_capacity_scale=self.config.data_capacity_scale,
+            clock_hz=self.config.clock_hz,
         )
-        self.policy = make_policy(self.config.policy, seed=self.config.seed)
+        self.policy = make_policy(
+            self.config.policy,
+            seed=self.config.seed,
+            objective=self.config.objective,
+            deadline_s=self.config.deadline_s,
+            budget_usd=self.config.budget_usd,
+        )
+        if isinstance(self.policy, SmartPlacement):
+            self.policy.bind_fleet(self.fleet.workers)
         self.worker_crashes = 0
         self._next_id = 1
         self._next_seq = 0
@@ -350,24 +425,59 @@ class TranscodeService:
                     break
                 if self.pump():
                     continue
-                next_free = self.fleet.next_free_ns()
-                if (next_free is not None
-                        and next_free > self.clock.now_ns()):
-                    self.clock.advance_to_ns(next_free)
+                # Nothing placed; if any available worker frees up later
+                # on the service clock, advance there and retry — under
+                # cost-aware objectives a queued job may be *waiting*
+                # for a cheaper (or deadline-feasible) busy worker.
+                now = self.clock.now_ns()
+                future = [
+                    w.busy_until_ns for w in self.fleet.available()
+                    if w.busy_until_ns > now
+                ]
+                if future:
+                    self.clock.advance_to_ns(min(future))
                     continue
                 # Free workers exist *now* but the policy placed nothing
                 # — nothing will change on its own; fail what is left
-                # rather than spinning forever.
+                # rather than spinning forever. Under a cost-aware
+                # objective this is the explicit shed path: the job had
+                # no worker satisfying its deadline/budget constraints.
+                constrained = (
+                    isinstance(self.policy, SmartPlacement)
+                    and self.policy.objective != "throughput"
+                )
                 for job in self.queue.pop_ready(self.queue.pending()):
-                    job.mark_failed("placement policy returned no placement")
+                    if constrained:
+                        job.mark_failed(
+                            "shed: no feasible worker under "
+                            f"{self.policy.objective} constraints "
+                            f"(deadline_s={self.policy.deadline_s}, "
+                            f"budget_usd={self.policy.budget_usd})"
+                        )
+                        obs.inc("service.jobs_shed_infeasible")
+                    else:
+                        job.mark_failed(
+                            "placement policy returned no placement"
+                        )
                     obs.inc("service.jobs_failed")
                 self._write_checkpoint()
                 break
         return self.report()
 
-    def _charge_ns(self, cycles: float) -> int:
-        """Simulated-time cost of ``cycles`` on the virtual clock."""
-        return int(round(cycles / self.config.clock_hz * 1e9))
+    def _charge_ns(self, cycles: float, worker) -> int:
+        """Simulated-time cost of ``cycles`` on ``worker``'s virtual
+        clock (instance cores run at their family's relative frequency,
+        so identical cycle counts convert to different durations)."""
+        return int(round(cycles / worker.clock_hz * 1e9))
+
+    def _bill(self, job: Job, worker, busy_ns: int) -> None:
+        """Bill ``busy_ns`` of ``worker`` occupancy to ``job`` and the
+        run's cost counters (crashed attempts are still paid for)."""
+        if busy_ns <= 0:
+            return
+        cost = worker.charge(busy_ns)
+        job.cost_usd += cost
+        obs.observe("service.job_cost_usd", cost)
 
     def _execute(self, job: Job, worker, *, start_ns: int | None = None) -> None:
         """Run one placed job, with in-place retries and crash isolation.
@@ -396,7 +506,7 @@ class TranscodeService:
                 attempt_ns.append(self.clock.now_ns() - start)
 
         virtual = self.clock.virtual
-        fail_charge = self._charge_ns(profiled.baseline_cycles)
+        fail_charge = self._charge_ns(profiled.baseline_cycles, worker)
         with obs.span(
             "service.job",
             job=job.job_id,
@@ -418,12 +528,13 @@ class TranscodeService:
                 wasted_ns = (len(attempt_ns) * fail_charge if virtual
                              else sum(attempt_ns))
                 job.add_timing("retry_overhead_s", wasted_ns / 1e9)
+                self._bill(job, worker, wasted_ns)
                 done_ns = t_start + wasted_ns
                 worker.busy_until_ns = max(worker.busy_until_ns, done_ns)
                 self._on_worker_crash(job, worker, exc, done_ns=done_ns)
                 return
         if virtual:
-            encode_ns = self._charge_ns(cycles)
+            encode_ns = self._charge_ns(cycles, worker)
             wasted_ns = (len(attempt_ns) - 1) * fail_charge
         else:
             encode_ns = attempt_ns[-1]
@@ -431,6 +542,7 @@ class TranscodeService:
         job.add_timing("encode_s", encode_ns / 1e9)
         if wasted_ns:
             job.add_timing("retry_overhead_s", wasted_ns / 1e9)
+        self._bill(job, worker, wasted_ns + encode_ns)
         done_ns = t_start + wasted_ns + encode_ns
         worker.busy_until_ns = max(worker.busy_until_ns, done_ns)
         job.mark_done(
@@ -454,7 +566,8 @@ class TranscodeService:
         speedup = job.result.speedup_pct
         if speedup is not None:
             obs.observe("service.job_speedup_pct", speedup)
-        self._record_stage_metrics(job, worker.config_name)
+        self._record_stage_metrics(job, worker.config_name,
+                                   instance=worker.instance_name)
 
     def _on_worker_crash(self, job: Job, worker, exc: Exception,
                          *, done_ns: int | None = None) -> None:
@@ -475,7 +588,8 @@ class TranscodeService:
             obs.inc("service.jobs_failed")
             if job.submitted_ns is not None:
                 job.timings["e2e_s"] = (done_ns - job.submitted_ns) / 1e9
-            self._record_stage_metrics(job, worker.config_name)
+            self._record_stage_metrics(job, worker.config_name,
+                                       instance=worker.instance_name)
         else:
             job.mark_requeued(error)
             self.queue.requeue(job, now_ns=done_ns)
@@ -489,11 +603,14 @@ class TranscodeService:
         ("e2e_s", "e2e"),
     )
 
-    def _record_stage_metrics(self, job: Job, config: str) -> None:
+    def _record_stage_metrics(
+        self, job: Job, config: str, *, instance: str | None = None
+    ) -> None:
         """Publish a terminal job's latency decomposition: one labeled
         ``service.stage_latency_s`` histogram sample per recorded stage
-        (keyed by stage / µarch config / policy), plus the deadline
-        accounting the SLO engine's ``deadline_miss_rate`` kind reads."""
+        (keyed by stage / µarch config / policy / instance family), plus
+        the deadline accounting the SLO engine's ``deadline_miss_rate``
+        kind reads."""
         buckets = latency_buckets()
         for key, stage in self._STAGES:
             value = job.timings.get(key)
@@ -506,6 +623,7 @@ class TranscodeService:
                     "stage": stage,
                     "config": config,
                     "policy": self.policy.name,
+                    "instance": instance or config,
                 },
                 bounds=buckets,
             )
@@ -587,6 +705,20 @@ class TranscodeService:
         obs.set_gauge(f"service.{name}.mean_latency_cycles", mean_latency)
         obs.set_gauge(f"service.{name}.mean_speedup_pct", mean_speedup)
         obs.set_gauge(f"service.{name}.jobs_completed", float(len(done)))
+        # Makespan: first admission to the last worker's busy horizon —
+        # what the whole fleet had to stay rented for.
+        starts = [j.submitted_ns for j in jobs if j.submitted_ns is not None]
+        horizons = [w.busy_until_ns for w in self.fleet.workers]
+        makespan_s = 0.0
+        if starts and horizons:
+            makespan_s = max(0, max(horizons) - min(starts)) / 1e9
+        cost_usd = self.fleet.cost_usd()
+        hourly = self.fleet.hourly_rate
+        e2es = sorted(
+            j.timings["e2e_s"] for j in jobs if "e2e_s" in j.timings
+        )
+        e2e_p99 = float(np.percentile(e2es, 99)) if e2es else 0.0
+        obs.set_gauge(f"service.{name}.cost_usd", cost_usd)
         return ServiceReport(
             policy=name,
             jobs_total=len(jobs),
@@ -595,6 +727,12 @@ class TranscodeService:
             mean_latency_cycles=mean_latency,
             mean_speedup_pct=mean_speedup,
             worker_crashes=self.worker_crashes,
+            objective=self.config.objective,
+            cost_usd=cost_usd,
+            fleet_hourly_usd=hourly,
+            makespan_s=makespan_s,
+            provisioned_usd=hourly * makespan_s / 3600.0,
+            e2e_p99_s=e2e_p99,
             placements={
                 j.job_id: f"{j.worker} ({j.result.config})"
                 for j in done if j.worker is not None

@@ -1,10 +1,27 @@
 """The heterogeneous worker fleet: warm simulators pinned to µarch configs.
 
-Each :class:`Worker` models one warm transcoding server pinned to a
-single Table IV microarchitecture configuration: the config object and
-the kernel program are built once at fleet construction (the "warm"
-state) and reused for every job, so per-job work is only the trace
-replay on the worker's configuration.
+Each :class:`Worker` models one warm transcoding server — one schedulable
+core — pinned to a single microarchitecture configuration: the config
+object and the kernel program are built once at fleet construction (the
+"warm" state) and reused for every job, so per-job work is only the
+trace replay on the worker's configuration.
+
+Fleets come in two flavours, freely mixable in one spec:
+
+- **Table IV config workers** (``fe_op``, ``be_op1``, …): the paper's
+  same-ISA serving fleet. Each spec clause yields ``count`` workers at
+  the service reference clock, billed at :data:`DEFAULT_RATE_PER_HOUR`
+  per worker unless the clause carries a ``$rate`` override.
+- **Instance-type workers** (``c5.xlarge``, ``c6g.xlarge``, … from
+  :mod:`repro.uarch.instances`): each spec clause yields ``count``
+  *instances*, and every instance expands to ``cores`` workers running
+  the instance family's µarch at its relative clock, each billed the
+  instance's per-core share of the hourly rate. This is the
+  heterogeneous-cloud dimension of "Where to Encode: x86 vs Arm EC2".
+
+The spec grammar is ``name[:count][:$rate]``, comma-separated —
+``"c5.xlarge:2:$0.17,fe_op"`` rents two c5.xlarge instances at a spot
+price and keeps one legacy front-end-optimized worker.
 
 Fault handling mirrors the sweep engine's crash-suspect protocol: a
 worker whose execution raises a *non-retryable* exception (retryable
@@ -24,39 +41,120 @@ from repro.resilience.faults import fault_point
 from repro.service.jobs import Job
 from repro.trace.program import Program
 from repro.uarch.configs import CONFIG_NAMES, config_by_name
+from repro.uarch.instances import INSTANCE_NAMES, InstanceType, instance_by_name
 from repro.uarch.simulator import simulate
 
-__all__ = ["DEFAULT_FLEET", "Worker", "WorkerFleet", "parse_fleet_spec"]
+__all__ = [
+    "DEFAULT_FLEET",
+    "DEFAULT_RATE_PER_HOUR",
+    "FleetEntry",
+    "Worker",
+    "WorkerFleet",
+    "parse_fleet_spec",
+]
 
 #: One worker per Table IV variant — the paper's §V serving fleet.
 DEFAULT_FLEET: tuple[str, ...] = ("fe_op", "be_op1", "be_op2", "bs_op")
 
+#: $/hour billed per Table IV config worker when the fleet spec carries
+#: no explicit rate — one reference-clock core at roughly the catalogue's
+#: per-core x86 price point, so legacy fleets cost something sensible
+#: instead of nothing.
+DEFAULT_RATE_PER_HOUR = 0.085
 
-def parse_fleet_spec(spec: str) -> tuple[str, ...]:
-    """Parse a fleet spec like ``"fe_op,be_op1:2,bs_op"`` into config
-    names (``:N`` repeats a config N times). Raises ``ValueError`` on
-    unknown configs or malformed counts."""
-    names: list[str] = []
+
+@dataclass(frozen=True)
+class FleetEntry:
+    """One parsed fleet-spec clause: what to rent, how many, at what price.
+
+    ``name`` is either a Table IV config name (one worker per count) or
+    an instance-type name (``cores`` workers per count);
+    ``rate_per_hour`` overrides the catalogue/default hourly price of
+    one unit (one config worker, or one whole instance).
+    """
+
+    name: str
+    count: int = 1
+    rate_per_hour: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in CONFIG_NAMES and self.name not in INSTANCE_NAMES:
+            raise ValueError(
+                f"unknown fleet entry {self.name!r}; choose a µarch config "
+                f"({', '.join(CONFIG_NAMES)}) or an instance type "
+                f"({', '.join(INSTANCE_NAMES)})"
+            )
+        if self.count < 1:
+            raise ValueError(f"fleet count must be >= 1, got {self.count}")
+        if self.rate_per_hour is not None and self.rate_per_hour <= 0:
+            raise ValueError(
+                f"fleet $rate must be > 0, got {self.rate_per_hour}"
+            )
+
+    @property
+    def instance(self) -> InstanceType | None:
+        """The catalogue profile for instance entries, else ``None``."""
+        if self.name in INSTANCE_NAMES:
+            return instance_by_name(self.name)
+        return None
+
+
+def parse_fleet_spec(spec: str) -> tuple[FleetEntry, ...]:
+    """Parse a fleet spec like ``"c5.xlarge:2:$0.17,fe_op,be_op1:2"``.
+
+    Each comma-separated clause is ``name[:count][:$rate]`` where
+    ``name`` is a Table IV config or an instance type, ``count`` repeats
+    the unit, and ``$rate`` overrides its hourly price (the ``$`` prefix
+    is mandatory, so counts and rates cannot be confused). Raises
+    ``ValueError`` on unknown names, malformed or duplicate counts/rates,
+    duplicate names, or an empty spec.
+    """
+    entries: list[FleetEntry] = []
+    seen: set[str] = set()
     for clause in spec.split(","):
         clause = clause.strip()
         if not clause:
             continue
-        name, _, count_raw = clause.partition(":")
-        name = name.strip()
-        if name not in CONFIG_NAMES:
+        parts = [p.strip() for p in clause.split(":")]
+        name, args = parts[0], parts[1:]
+        count: int | None = None
+        rate: float | None = None
+        for arg in args:
+            if arg.startswith("$"):
+                if rate is not None:
+                    raise ValueError(f"duplicate $rate in {clause!r}")
+                try:
+                    rate = float(arg[1:])
+                except ValueError:
+                    raise ValueError(
+                        f"bad $rate {arg!r} in {clause!r}"
+                    ) from None
+            else:
+                if count is not None:
+                    raise ValueError(f"duplicate count in {clause!r}")
+                try:
+                    count = int(arg)
+                except ValueError:
+                    raise ValueError(
+                        f"bad count {arg!r} in {clause!r} "
+                        "(rates need a $ prefix)"
+                    ) from None
+        if name in seen:
             raise ValueError(
-                f"unknown µarch config {name!r}; "
-                f"choose from {', '.join(CONFIG_NAMES)}"
+                f"duplicate fleet entry {name!r}; "
+                "use name:count to size one entry"
             )
-        count = 1
-        if count_raw:
-            count = int(count_raw)
-            if count < 1:
-                raise ValueError(f"fleet count must be >= 1 in {clause!r}")
-        names.extend([name] * count)
-    if not names:
+        seen.add(name)
+        entries.append(
+            FleetEntry(
+                name=name,
+                count=count if count is not None else 1,
+                rate_per_hour=rate,
+            )
+        )
+    if not entries:
         raise ValueError(f"empty fleet spec {spec!r}")
-    return tuple(names)
+    return tuple(entries)
 
 
 @dataclass
@@ -66,10 +164,12 @@ class WorkerStats:
     completed: int = 0
     failed: int = 0
     cycles: float = 0.0
+    busy_ns: int = 0                 # service-clock time spent on jobs
+    cost_usd: float = 0.0            # busy time x this worker's rate
 
 
 class Worker:
-    """One warm server pinned to a microarchitecture configuration."""
+    """One warm server core pinned to a microarchitecture configuration."""
 
     def __init__(
         self,
@@ -77,13 +177,31 @@ class Worker:
         config_name: str,
         *,
         data_capacity_scale: float = 48.0,
+        instance: InstanceType | None = None,
+        rate_per_hour: float = DEFAULT_RATE_PER_HOUR,
+        clock_hz: float = 1.0e6,
     ) -> None:
         self.name = name
         self.config_name = config_name
+        #: Instance profile this core belongs to (None for Table IV
+        #: config workers) and its catalogue name for metric labels.
+        self.instance = instance
+        self.instance_name = instance.name if instance else config_name
         # Warm state: the config is materialized once, not per job.
-        self.config = config_by_name(
-            config_name, data_capacity_scale=data_capacity_scale
-        )
+        if instance is not None:
+            self.config = instance.build_config(
+                data_capacity_scale=data_capacity_scale
+            )
+        else:
+            self.config = config_by_name(
+                config_name, data_capacity_scale=data_capacity_scale
+            )
+        #: This core's simulated frequency (virtual Hz) — instance cores
+        #: scale the service reference clock by clock_ghz/3.0, so cycle
+        #: counts convert to different virtual durations per family.
+        self.clock_hz = clock_hz
+        #: $/hour billed for this core (an instance's per-core share).
+        self.rate_per_hour = rate_per_hour
         self.suspect = False
         self.stats = WorkerStats()
         #: When this worker's current job finishes, on the service clock
@@ -92,6 +210,13 @@ class Worker:
         #: synchronous); under a virtual clock it is the busy horizon
         #: that makes queueing-under-load observable.
         self.busy_until_ns = 0
+
+    def charge(self, busy_ns: int) -> float:
+        """Account ``busy_ns`` of occupancy and return its dollar cost."""
+        cost = busy_ns / 1e9 / 3600.0 * self.rate_per_hour
+        self.stats.busy_ns += busy_ns
+        self.stats.cost_usd += cost
+        return cost
 
     def execute(self, job: Job, stream, program: Program) -> float:
         """Replay ``job``'s recorded trace on this worker's µarch and
@@ -118,23 +243,68 @@ class Worker:
         return f"<Worker {self.name} ({self.config_name}){flag}>"
 
 
+def _expand(
+    entries: tuple, *, data_capacity_scale: float, clock_hz: float
+) -> list[Worker]:
+    """Expand fleet entries (or bare config names) into workers."""
+    workers: list[Worker] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            entry = FleetEntry(name=entry)
+        instance = entry.instance
+        if instance is None:
+            rate = (entry.rate_per_hour if entry.rate_per_hour is not None
+                    else DEFAULT_RATE_PER_HOUR)
+            for _ in range(entry.count):
+                i = len(workers)
+                workers.append(Worker(
+                    f"w{i}:{entry.name}", entry.name,
+                    data_capacity_scale=data_capacity_scale,
+                    rate_per_hour=rate, clock_hz=clock_hz,
+                ))
+        else:
+            instance_rate = (
+                entry.rate_per_hour if entry.rate_per_hour is not None
+                else instance.rate_per_hour
+            )
+            for _ in range(entry.count * instance.cores):
+                i = len(workers)
+                workers.append(Worker(
+                    f"w{i}:{instance.name}", instance.config_name,
+                    data_capacity_scale=data_capacity_scale,
+                    instance=instance,
+                    rate_per_hour=instance_rate / instance.cores,
+                    clock_hz=clock_hz * instance.clock_scale(),
+                ))
+    return workers
+
+
 class WorkerFleet:
     """The set of warm workers the placement policy chooses between."""
 
     def __init__(
         self,
-        config_names: tuple[str, ...] = DEFAULT_FLEET,
+        entries: tuple = DEFAULT_FLEET,
         *,
         data_capacity_scale: float = 48.0,
+        clock_hz: float = 1.0e6,
     ) -> None:
-        if not config_names:
+        if not entries:
             raise ValueError("fleet needs at least one worker")
-        self.workers: list[Worker] = [
-            Worker(f"w{i}:{name}", name,
-                   data_capacity_scale=data_capacity_scale)
-            for i, name in enumerate(config_names)
-        ]
+        self.workers: list[Worker] = _expand(
+            entries, data_capacity_scale=data_capacity_scale,
+            clock_hz=clock_hz,
+        )
         self._by_name = {w.name: w for w in self.workers}
+
+    @property
+    def hourly_rate(self) -> float:
+        """The whole fleet's provisioned $/hour (suspects still billed)."""
+        return sum(w.rate_per_hour for w in self.workers)
+
+    def cost_usd(self) -> float:
+        """Total busy-time dollars charged across the fleet so far."""
+        return sum(w.stats.cost_usd for w in self.workers)
 
     def available(self) -> list[Worker]:
         """Workers eligible for placement (not crash-suspect)."""
@@ -169,12 +339,12 @@ class WorkerFleet:
         return len(self.workers)
 
     def describe(self) -> str:
-        """One line per worker: name, config, stats, suspect flag."""
+        """One line per worker: name, config, rate, stats, suspect flag."""
         lines = []
         for w in self.workers:
             flag = "  [ISOLATED]" if w.suspect else ""
             lines.append(
-                f"{w.name}: {w.config_name} "
+                f"{w.name}: {w.config_name} ${w.rate_per_hour:.4f}/h "
                 f"completed={w.stats.completed} failed={w.stats.failed}{flag}"
             )
         return "\n".join(lines)

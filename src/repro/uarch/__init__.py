@@ -14,6 +14,12 @@ The five Table IV configurations (``baseline`` a.k.a. gainestown,
 
 from repro.uarch.config import MicroarchConfig
 from repro.uarch.configs import CONFIGS, baseline_config, config_by_name
+from repro.uarch.instances import (
+    INSTANCE_NAMES,
+    INSTANCE_TYPES,
+    InstanceType,
+    instance_by_name,
+)
 from repro.uarch.simulator import SimReport, Simulator, simulate
 
 __all__ = [
@@ -21,6 +27,10 @@ __all__ = [
     "CONFIGS",
     "baseline_config",
     "config_by_name",
+    "InstanceType",
+    "INSTANCE_TYPES",
+    "INSTANCE_NAMES",
+    "instance_by_name",
     "Simulator",
     "SimReport",
     "simulate",

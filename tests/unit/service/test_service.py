@@ -39,13 +39,22 @@ class TestConfig:
             ServiceConfig(max_attempts=0)
 
     def test_fleet_spec_parsing(self):
-        assert parse_fleet_spec("fe_op,be_op1:2") == (
-            "fe_op", "be_op1", "be_op1",
-        )
+        entries = parse_fleet_spec("fe_op,be_op1:2")
+        assert [(e.name, e.count, e.rate_per_hour) for e in entries] == [
+            ("fe_op", 1, None), ("be_op1", 2, None),
+        ]
         with pytest.raises(ValueError, match="unknown"):
             parse_fleet_spec("warp_drive")
         with pytest.raises(ValueError, match="empty"):
             parse_fleet_spec(" , ")
+
+    def test_fleet_spec_drives_worker_expansion(self):
+        service = TranscodeService(ServiceConfig(
+            fleet=parse_fleet_spec("fe_op:2,be_op1"), **TINY
+        ))
+        assert [w.config_name for w in service.fleet.workers] == [
+            "fe_op", "fe_op", "be_op1",
+        ]
 
     def test_table3_requests_cycle_the_mix(self):
         reqs = table3_requests(6)

@@ -1,0 +1,138 @@
+"""Unit tests for the fleet-spec grammar and heterogeneous worker fleets.
+
+Pins the ``name[:count][:$rate]`` grammar — every documented error path
+raises ``ValueError`` with a pointed message — and the expansion rules:
+instance entries expand to ``count x cores`` workers at the per-core
+rate and the family's scaled clock, config entries keep the reference
+clock and the flat default rate, and billing accumulates busy time at
+each worker's own price.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.workers import (
+    DEFAULT_RATE_PER_HOUR,
+    FleetEntry,
+    WorkerFleet,
+    parse_fleet_spec,
+)
+from repro.uarch.instances import instance_by_name
+
+
+class TestParseFleetSpec:
+    def test_bare_names_default_to_count_one(self):
+        entries = parse_fleet_spec("fe_op,be_op1")
+        assert [(e.name, e.count, e.rate_per_hour) for e in entries] == [
+            ("fe_op", 1, None), ("be_op1", 1, None),
+        ]
+
+    def test_count_rate_and_order_insensitivity(self):
+        a, = parse_fleet_spec("c5.xlarge:2:$0.15")
+        b, = parse_fleet_spec("c5.xlarge:$0.15:2")
+        assert a == b == FleetEntry("c5.xlarge", 2, 0.15)
+
+    def test_whitespace_and_empty_clauses_are_tolerated(self):
+        entries = parse_fleet_spec(" fe_op : 2 , , bs_op ")
+        assert [(e.name, e.count) for e in entries] == [
+            ("fe_op", 2), ("bs_op", 1),
+        ]
+
+    def test_mixed_config_and_instance_entries(self):
+        entries = parse_fleet_spec("fe_op,c6g.xlarge:2")
+        assert entries[0].instance is None
+        assert entries[1].instance is instance_by_name("c6g.xlarge")
+
+    def test_unknown_name_lists_both_namespaces(self):
+        with pytest.raises(ValueError, match="unknown fleet entry"):
+            parse_fleet_spec("not_a_config")
+        with pytest.raises(ValueError, match="instance type"):
+            parse_fleet_spec("c9.xlarge")
+
+    def test_malformed_count_points_at_rate_prefix(self):
+        with pytest.raises(ValueError, match=r"rates need a \$ prefix"):
+            parse_fleet_spec("fe_op:0.17")
+        with pytest.raises(ValueError, match="bad count"):
+            parse_fleet_spec("fe_op:two")
+
+    def test_duplicate_count_and_rate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate count"):
+            parse_fleet_spec("fe_op:2:3")
+        with pytest.raises(ValueError, match=r"duplicate \$rate"):
+            parse_fleet_spec("fe_op:$0.1:$0.2")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match=r"bad \$rate"):
+            parse_fleet_spec("fe_op:$cheap")
+        with pytest.raises(ValueError, match=r"\$rate must be > 0"):
+            parse_fleet_spec("fe_op:$0")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fleet entry"):
+            parse_fleet_spec("fe_op,fe_op")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty fleet spec"):
+            parse_fleet_spec("")
+        with pytest.raises(ValueError, match="empty fleet spec"):
+            parse_fleet_spec(" , ")
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            parse_fleet_spec("fe_op:0")
+
+
+class TestFleetExpansion:
+    def test_instance_entry_expands_to_physical_cores(self):
+        fleet = WorkerFleet(parse_fleet_spec("c6g.xlarge"))
+        instance = instance_by_name("c6g.xlarge")
+        assert len(fleet.workers) == instance.cores
+        names = [w.name for w in fleet.workers]
+        assert len(set(names)) == len(names)
+        for worker in fleet.workers:
+            assert worker.instance is instance
+            assert worker.config_name == instance.config_name
+            assert worker.rate_per_hour == pytest.approx(
+                instance.rate_per_core_hour
+            )
+
+    def test_instance_clock_scales_from_reference(self):
+        fleet = WorkerFleet(
+            parse_fleet_spec("c5.xlarge,fe_op"), clock_hz=1.0e6
+        )
+        c5 = instance_by_name("c5.xlarge")
+        instance_workers = [w for w in fleet.workers if w.instance]
+        config_workers = [w for w in fleet.workers if not w.instance]
+        for worker in instance_workers:
+            assert worker.clock_hz == pytest.approx(1.0e6 * c5.clock_scale())
+        # Table IV config workers keep the service reference clock.
+        assert all(w.clock_hz == 1.0e6 for w in config_workers)
+
+    def test_rate_override_splits_across_instance_cores(self):
+        fleet = WorkerFleet(parse_fleet_spec("a1.xlarge:$0.08"))
+        assert all(
+            w.rate_per_hour == pytest.approx(0.08 / 4)
+            for w in fleet.workers
+        )
+
+    def test_config_workers_bill_flat_default_rate(self):
+        fleet = WorkerFleet(parse_fleet_spec("fe_op:2"))
+        assert all(
+            w.rate_per_hour == DEFAULT_RATE_PER_HOUR for w in fleet.workers
+        )
+        assert fleet.hourly_rate == pytest.approx(2 * DEFAULT_RATE_PER_HOUR)
+
+    def test_hourly_rate_sums_catalogue_prices(self):
+        fleet = WorkerFleet(parse_fleet_spec("c5.xlarge,c6g.xlarge:2"))
+        expected = (instance_by_name("c5.xlarge").rate_per_hour
+                    + 2 * instance_by_name("c6g.xlarge").rate_per_hour)
+        assert fleet.hourly_rate == pytest.approx(expected)
+
+    def test_charge_accumulates_busy_time_dollars(self):
+        fleet = WorkerFleet(parse_fleet_spec("fe_op"))
+        worker = fleet.workers[0]
+        cost = worker.charge(int(3600 * 1e9))  # one busy hour
+        assert cost == pytest.approx(DEFAULT_RATE_PER_HOUR)
+        assert worker.stats.busy_ns == int(3600 * 1e9)
+        assert fleet.cost_usd() == pytest.approx(DEFAULT_RATE_PER_HOUR)

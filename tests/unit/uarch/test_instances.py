@@ -1,0 +1,134 @@
+"""Unit tests for the cloud instance-type catalogue (repro.uarch.instances).
+
+Pins the registry's calibration-bearing invariants — ISA split, physical
+core counts, the Arm per-core price advantage that drives the cited
+papers' throughput/$ ordering — plus the mechanics: clock scaling
+against the reference frequency, µarch override application in
+``build_config``, and eager validation of malformed profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.uarch.config import CacheParams
+from repro.uarch.configs import config_by_name
+from repro.uarch.instances import (
+    INSTANCE_NAMES,
+    INSTANCE_TYPES,
+    REFERENCE_CLOCK_GHZ,
+    InstanceType,
+    instance_by_name,
+)
+
+
+class TestRegistry:
+    def test_catalogue_covers_both_isas(self):
+        assert set(INSTANCE_NAMES) == {
+            "c5.xlarge", "m5.xlarge", "c6g.xlarge", "m6g.xlarge",
+            "a1.xlarge",
+        }
+        isas = {t.isa for t in INSTANCE_TYPES.values()}
+        assert isas == {"x86", "arm"}
+
+    def test_physical_core_counts_drive_the_price_ordering(self):
+        # x86 xlarge = 2 physical cores (4 SMT vCPUs); Arm xlarge = 4
+        # full cores — the structural fact behind the Arm throughput/$
+        # win in "Where to Encode: x86 vs Arm EC2".
+        for t in INSTANCE_TYPES.values():
+            assert t.cores == (2 if t.isa == "x86" else 4)
+        cheapest_x86 = min(
+            t.rate_per_core_hour
+            for t in INSTANCE_TYPES.values() if t.isa == "x86"
+        )
+        priciest_arm = max(
+            t.rate_per_core_hour
+            for t in INSTANCE_TYPES.values() if t.isa == "arm"
+        )
+        assert priciest_arm < cheapest_x86
+
+    def test_rate_per_core_hour(self):
+        c5 = instance_by_name("c5.xlarge")
+        assert c5.rate_per_core_hour == pytest.approx(0.170 / 2)
+
+    def test_clock_scale_is_relative_to_reference(self):
+        c5 = instance_by_name("c5.xlarge")
+        assert c5.clock_scale() == pytest.approx(3.4 / REFERENCE_CLOCK_GHZ)
+        a1 = instance_by_name("a1.xlarge")
+        assert a1.clock_scale() < 1.0 < c5.clock_scale()
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="unknown instance type"):
+            instance_by_name("t4g.nano")
+
+    def test_describe_is_one_catalogue_row(self):
+        row = instance_by_name("m6g.xlarge").describe()
+        assert row["instance"] == "m6g.xlarge"
+        assert row["isa"] == "arm"
+        assert row["cores"] == 4
+        assert row["rate_per_core_hour"] == pytest.approx(0.154 / 4)
+
+
+class TestBuildConfig:
+    def test_overrides_are_applied_on_top_of_base_config(self):
+        c6g = instance_by_name("c6g.xlarge")
+        base = config_by_name(c6g.config_name)
+        built = c6g.build_config()
+        assert built.branch_predictor == "tage"
+        assert built.l1d.size_bytes == 64 * 1024
+        assert built.l2.size_bytes == 1024 * 1024
+        # Untouched dimensions stay inherited from the Table IV base.
+        assert built.dispatch_width == base.dispatch_width
+        assert built.rob_size == base.rob_size
+
+    def test_no_override_instance_matches_base_config(self):
+        m5 = instance_by_name("m5.xlarge")
+        assert m5.uarch_overrides == {}
+        assert m5.build_config() == config_by_name("be_op1")
+
+    def test_data_capacity_scale_passes_through(self):
+        a1 = instance_by_name("a1.xlarge")
+        built = a1.build_config(data_capacity_scale=48.0)
+        assert built.data_capacity_scale == 48.0
+        assert built.dispatch_width == 3
+        assert built.rob_size == 96
+
+
+class TestValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="test.xlarge", isa="arm", config_name="baseline",
+            clock_ghz=2.0, cores=2, rate_per_hour=0.1,
+        )
+        base.update(overrides)
+        return base
+
+    def test_accepts_well_formed_profile(self):
+        t = InstanceType(**self._kwargs())
+        assert t.cycle_scale == 1.0
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            (dict(isa="riscv"), "isa must be x86 or arm"),
+            (dict(config_name="nope"), "unknown base config"),
+            (dict(clock_ghz=0.0), "clock_ghz must be > 0"),
+            (dict(cores=0), "cores must be >= 1"),
+            (dict(rate_per_hour=-1.0), "rate_per_hour must be > 0"),
+            (dict(cycle_scale=0.0), "cycle_scale must be > 0"),
+        ],
+    )
+    def test_rejects_malformed_profiles(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            InstanceType(**self._kwargs(**bad))
+
+    def test_override_field_names_are_validated_eagerly(self):
+        t = InstanceType(**self._kwargs(
+            uarch_overrides={"l2": CacheParams(512 * 1024, 8, latency=10)}
+        ))
+        assert t.build_config().l2.size_bytes == 512 * 1024
+        bad = InstanceType(**self._kwargs(
+            uarch_overrides={"no_such_knob": 1}
+        ))
+        with pytest.raises(TypeError):
+            bad.build_config()
