@@ -47,6 +47,7 @@ from repro.api.types import (
 #: ``repro.api.types`` while the facade imports the service layer, and
 #: eager package imports here would close that cycle.
 _LAZY_EXPORTS = {
+    "bench_matrix": ("repro.api.facade", "bench_matrix"),
     "encode": ("repro.api.facade", "encode"),
     "fleet_compare": ("repro.api.facade", "fleet_compare"),
     "FleetCompareReport": ("repro.service.fleetcompare", "FleetCompareReport"),
@@ -97,6 +98,7 @@ __all__ = [
     "Settings",
     "TranscodeRequest",
     "TranscodeResult",
+    "bench_matrix",
     "encode",
     "fleet_compare",
     "loadtest",

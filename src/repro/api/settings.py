@@ -45,6 +45,8 @@ ENV_VARS = {
     "REPRO_LOADTEST_MIX": "loadtest_mix",
     "REPRO_FLEET": "fleet",
     "REPRO_OBJECTIVE": "objective",
+    "REPRO_BENCH_MATRIX": "bench_matrix",
+    "REPRO_BENCH_HISTORY": "bench_history",
 }
 
 _TRUTHY = ("1", "true", "yes", "on")
@@ -89,6 +91,13 @@ class Settings:
     fleet: str | None = None
     #: Smart-placement Pareto objective for the service layer.
     objective: str = "throughput"
+    #: Declarative benchmark-matrix spec for ``repro bench`` (YAML/JSON;
+    #: see :mod:`repro.bench.matrix`). Existence is checked at use time,
+    #: not here, so CI can export the variable before the spec lands.
+    bench_matrix: Path | None = None
+    #: Directory of ``BENCH_*.json`` / ``matrix*.json`` artifacts for
+    #: ``repro bench --history`` (see :mod:`repro.bench.history`).
+    bench_history: Path | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -143,6 +152,19 @@ class Settings:
     @classmethod
     def from_env(cls) -> "Settings":
         """Built-in defaults overlaid with the environment variables."""
+        return cls(**cls.env_overrides())  # type: ignore[arg-type]
+
+    @classmethod
+    def env_overrides(cls) -> dict[str, object]:
+        """The constructor kwargs the environment actually sets.
+
+        Only fields whose ``REPRO_*`` variable is present (and parseable)
+        appear in the mapping, so callers layering their own defaults
+        below the environment — the benchmark matrix resolves **spec <
+        env < CLI** this way — can tell "env said 1" apart from "env said
+        nothing". ``from_env`` is exactly these kwargs over the built-in
+        defaults.
+        """
         kwargs: dict[str, object] = {}
         jobs_raw = os.environ.get("REPRO_JOBS", "").strip()
         if jobs_raw:
@@ -201,8 +223,15 @@ class Settings:
         objective_raw = os.environ.get("REPRO_OBJECTIVE", "").strip()
         if objective_raw:
             kwargs["objective"] = objective_raw.lower()
-        kwargs["retry"] = RetryPolicy.from_env()
-        return cls(**kwargs)  # type: ignore[arg-type]
+        matrix_raw = os.environ.get("REPRO_BENCH_MATRIX", "").strip()
+        if matrix_raw:
+            kwargs["bench_matrix"] = Path(matrix_raw)
+        history_raw = os.environ.get("REPRO_BENCH_HISTORY", "").strip()
+        if history_raw:
+            kwargs["bench_history"] = Path(history_raw)
+        if any(name.startswith("REPRO_RETRY_") for name in os.environ):
+            kwargs["retry"] = RetryPolicy.from_env()
+        return kwargs
 
     @classmethod
     def resolve(
@@ -225,6 +254,8 @@ class Settings:
         loadtest_mix: str | None = None,
         fleet: str | None = None,
         objective: str | None = None,
+        bench_matrix: str | Path | None = None,
+        bench_history: str | Path | None = None,
     ) -> "Settings":
         """Resolve CLI flags over the environment over the defaults.
 
@@ -272,6 +303,10 @@ class Settings:
             updates["fleet"] = fleet
         if objective is not None:
             updates["objective"] = objective.lower()
+        if bench_matrix is not None:
+            updates["bench_matrix"] = Path(bench_matrix)
+        if bench_history is not None:
+            updates["bench_history"] = Path(bench_history)
         return replace(settings, **updates) if updates else settings  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------

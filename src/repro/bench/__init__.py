@@ -12,6 +12,16 @@ in the vectorized-over-reference speedup, which is stable across machines
 of different absolute speed. ``repro bench --compare BASELINE.json``
 exits with code 4 when any tracked speedup fell by more than the
 threshold (25% by default) — the CI bench-smoke gate.
+
+Two declarative layers sit on top (see ``docs/BENCHMARKS.md``):
+
+- :mod:`repro.bench.matrix` — YAML/JSON benchmark matrices whose axis
+  cross-product drives encode/bench/sweep/loadtest/fleet-compare cells
+  through the :mod:`repro.api` facade (``repro bench --matrix SPEC``);
+- :mod:`repro.bench.history` — the ``BENCH_*``/``matrix*`` trend
+  tracker with a rolling-window drift detector that catches slow
+  regressions the pairwise gate misses (``repro bench --history DIR``,
+  exit 5 on drift).
 """
 
 from repro.bench.harness import (
@@ -21,6 +31,29 @@ from repro.bench.harness import (
     run_e2e_fig3,
     run_kernel_benches,
 )
+from repro.bench.history import (
+    DEFAULT_DRIFT,
+    DEFAULT_WINDOW,
+    TREND_SCHEMA,
+    DriftVerdict,
+    HistoryEntry,
+    collect_series,
+    detect_drift,
+    load_history,
+    trend_payload,
+)
+from repro.bench.matrix import (
+    LEG_KINDS,
+    MATRIX_SCHEMA,
+    MatrixCell,
+    MatrixSpec,
+    SpecError,
+    load_matrix,
+    load_spec,
+    resolve_cell_settings,
+    run_matrix,
+    write_matrix,
+)
 from repro.bench.report import (
     BENCH_SCHEMA,
     bench_artifact_path,
@@ -28,20 +61,41 @@ from repro.bench.report import (
     current_rev,
     load_bench,
     render_bench,
+    working_tree_dirty,
     write_bench,
 )
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DEFAULT_DRIFT",
+    "DEFAULT_WINDOW",
+    "DriftVerdict",
     "E2E_CELLS",
+    "HistoryEntry",
     "KERNEL_BENCH_NAMES",
+    "LEG_KINDS",
+    "MATRIX_SCHEMA",
+    "MatrixCell",
+    "MatrixSpec",
+    "SpecError",
+    "TREND_SCHEMA",
     "bench_artifact_path",
+    "collect_series",
     "compare_bench",
     "current_rev",
+    "detect_drift",
     "load_bench",
+    "load_history",
+    "load_matrix",
+    "load_spec",
     "render_bench",
+    "resolve_cell_settings",
     "run_bench",
     "run_e2e_fig3",
     "run_kernel_benches",
+    "run_matrix",
+    "trend_payload",
+    "working_tree_dirty",
     "write_bench",
+    "write_matrix",
 ]

@@ -304,19 +304,22 @@ def run_bench(
     reps: int = 3,
     e2e_reps: int = 2,
     quick: bool = False,
+    names: Iterable[str] | None = None,
 ) -> dict[str, object]:
     """Run the full suite and return the ``BENCH_*.json`` payload.
 
     ``quick`` trims the e2e slice to its three unique crf values at one
     refs setting and single repetitions — for smoke use; quick artifacts
     are still comparable because the gate reads speedup ratios.
+    ``names`` restricts the kernel workloads to a subset (the matrix
+    bench leg times one kernel per cell this way).
     """
     from repro.bench.report import build_payload
 
     registry = MetricsRegistry()
     # Kernel workloads are cheap, so even quick mode keeps best-of-N —
     # single-shot micro timings are too noisy for a ratio gate.
-    kernel_results = run_kernel_benches(registry, reps=max(reps, 3))
+    kernel_results = run_kernel_benches(registry, reps=max(reps, 3), names=names)
     if quick:
         e2e = run_e2e_fig3(
             registry, reps=1, cells=((1, 1), (23, 8), (51, 1)), n_frames=8

@@ -1,0 +1,256 @@
+"""Speedup trends across bench artifacts, with rolling-window drift.
+
+The single-baseline gate (``repro bench --compare``) only sees two
+points: the current run and one committed baseline. A sequence of small
+drops — each inside the 25% ratio threshold — therefore accumulates
+invisibly. This module ingests a *directory* of artifacts
+(``BENCH_<rev>.json`` from :mod:`repro.bench.report` plus
+``matrix*.json`` from :mod:`repro.bench.matrix`), orders them by the
+``timestamp`` recorded inside each payload (filename and mtime are
+fallbacks, never the source of truth), and tracks every speedup series
+across revisions:
+
+- ``kernel:<name>`` — per-kernel vectorized/reference speedup;
+- ``e2e:fig3-slice`` — the end-to-end encode speedup;
+- ``matrix:<name>:<cell>:<metric>`` — every numeric metric of every
+  ``ok`` matrix cell.
+
+The rolling-window detector flags a series when the **median of its
+last K values** drifts more than ``drift`` below the **best value ever
+recorded** — the slow-regression case the pairwise gate misses. Edge
+cases are explicit: a single run is ``insufficient`` (never flagged),
+all-equal runs are ``ok``, and series missing from some revisions (a
+kernel added or removed) simply have gaps.
+
+``repro bench --history DIR`` renders the trend table (sparklines per
+series) and exits **5** when any series drifts — distinct from the
+pairwise gate's exit 4 so CI can tell the two failure modes apart.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.matrix import MATRIX_SCHEMA
+from repro.bench.report import BENCH_SCHEMA
+
+__all__ = [
+    "DEFAULT_DRIFT",
+    "DEFAULT_WINDOW",
+    "DriftVerdict",
+    "HistoryEntry",
+    "TREND_SCHEMA",
+    "collect_series",
+    "detect_drift",
+    "load_history",
+    "trend_payload",
+]
+
+TREND_SCHEMA = "repro-bench-trend/v1"
+DEFAULT_WINDOW = 5
+DEFAULT_DRIFT = 0.10
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One ingested artifact, reduced to its tracked series."""
+
+    path: str
+    kind: str  # "bench" | "matrix"
+    rev: str
+    dirty: bool
+    timestamp: float
+    series: dict[str, float]
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """One series' rolling-window verdict."""
+
+    series: str
+    n: int
+    best: float
+    last: float
+    median_recent: float
+    drop_frac: float  # 1 - median_recent / best
+    status: str  # "ok" | "drift" | "insufficient"
+
+    @property
+    def flagged(self) -> bool:
+        return self.status == "drift"
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "series": self.series,
+            "n": self.n,
+            "best": self.best,
+            "last": self.last,
+            "median_recent": self.median_recent,
+            "drop_frac": self.drop_frac,
+            "status": self.status,
+        }
+
+
+def _bench_series(payload: dict[str, object]) -> dict[str, float]:
+    series = {
+        f"kernel:{name}": float(row["speedup"])
+        for name, row in (payload.get("kernels") or {}).items()  # type: ignore[union-attr]
+    }
+    e2e = payload.get("e2e") or {}
+    if isinstance(e2e, dict) and "speedup" in e2e:
+        series["e2e:fig3-slice"] = float(e2e["speedup"])  # type: ignore[arg-type]
+    return series
+
+
+def _matrix_series(payload: dict[str, object]) -> dict[str, float]:
+    name = payload.get("name", "?")
+    series: dict[str, float] = {}
+    for cell in payload.get("cells") or []:  # type: ignore[union-attr]
+        if not isinstance(cell, dict) or cell.get("status") != "ok":
+            continue
+        for metric, value in (cell.get("metrics") or {}).items():
+            if isinstance(value, (int, float)):
+                series[f"matrix:{name}:{cell.get('id')}:{metric}"] = float(value)
+    return series
+
+
+def load_history(dir_path: str | Path) -> list[HistoryEntry]:
+    """Ingest every ``BENCH_*.json`` / ``matrix*.json`` under ``dir_path``.
+
+    Entries come back ordered by the timestamp recorded *inside* each
+    payload (pre-timestamp artifacts fall back to file mtime), so
+    renames and copies cannot reorder history. Unreadable or
+    unrecognized files raise ``ValueError`` — a corrupt artifact in a
+    history directory is a real problem, not something to skip quietly.
+    """
+    root = Path(dir_path)
+    if not root.is_dir():
+        raise ValueError(f"{root}: not a directory of bench artifacts")
+    entries: list[HistoryEntry] = []
+    paths = sorted(root.glob("BENCH_*.json")) + sorted(root.glob("matrix*.json"))
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: unreadable artifact: {exc}") from None
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        if schema == BENCH_SCHEMA:
+            kind, series = "bench", _bench_series(payload)
+        elif schema == MATRIX_SCHEMA:
+            kind, series = "matrix", _matrix_series(payload)
+        else:
+            raise ValueError(
+                f"{path}: unknown artifact schema {schema!r} (expected "
+                f"{BENCH_SCHEMA} or {MATRIX_SCHEMA})"
+            )
+        raw_ts = payload.get("timestamp")
+        timestamp = (
+            float(raw_ts) if isinstance(raw_ts, (int, float))
+            else path.stat().st_mtime
+        )
+        entries.append(
+            HistoryEntry(
+                path=str(path),
+                kind=kind,
+                rev=str(payload.get("rev", "unknown")),
+                dirty=bool(payload.get("dirty", False)),
+                timestamp=timestamp,
+                series=series,
+            )
+        )
+    entries.sort(key=lambda e: (e.timestamp, e.path))
+    return entries
+
+
+def collect_series(
+    entries: list[HistoryEntry],
+) -> dict[str, list[float | None]]:
+    """Align every series over the entry sequence; ``None`` marks an
+    entry that did not record that series (a gap, not a zero)."""
+    names = sorted({name for e in entries for name in e.series})
+    return {
+        name: [e.series.get(name) for e in entries] for name in names
+    }
+
+
+def detect_drift(
+    series: dict[str, list[float | None]],
+    *,
+    window: int = DEFAULT_WINDOW,
+    drift: float = DEFAULT_DRIFT,
+) -> list[DriftVerdict]:
+    """Rolling-window verdicts: flag when median(last ``window`` values)
+    falls more than ``drift`` below the best value in the history."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not 0 < drift < 1:
+        raise ValueError(f"drift must be in (0, 1), got {drift}")
+    verdicts = []
+    for name in sorted(series):
+        values = [v for v in series[name] if v is not None]
+        if len(values) < 2:
+            verdicts.append(
+                DriftVerdict(
+                    series=name,
+                    n=len(values),
+                    best=values[-1] if values else 0.0,
+                    last=values[-1] if values else 0.0,
+                    median_recent=values[-1] if values else 0.0,
+                    drop_frac=0.0,
+                    status="insufficient",
+                )
+            )
+            continue
+        best = max(values)
+        recent = values[-window:]
+        median_recent = float(statistics.median(recent))
+        drop = 1.0 - median_recent / best if best > 0 else 0.0
+        verdicts.append(
+            DriftVerdict(
+                series=name,
+                n=len(values),
+                best=best,
+                last=values[-1],
+                median_recent=median_recent,
+                drop_frac=drop,
+                status="drift" if median_recent < best * (1.0 - drift)
+                else "ok",
+            )
+        )
+    return verdicts
+
+
+def trend_payload(
+    entries: list[HistoryEntry],
+    *,
+    window: int = DEFAULT_WINDOW,
+    drift: float = DEFAULT_DRIFT,
+) -> dict[str, object]:
+    """The machine-readable trend report over an ingested history.
+
+    JSON-ready; ``series`` values are aligned to ``entries`` order with
+    ``null`` gaps, and ``verdicts`` carry the rolling-window analysis —
+    the same shape :func:`repro.obs.export.render_trend` renders.
+    """
+    series = collect_series(entries)
+    verdicts = detect_drift(series, window=window, drift=drift)
+    return {
+        "schema": TREND_SCHEMA,
+        "window": window,
+        "drift": drift,
+        "entries": [
+            {
+                "path": e.path,
+                "kind": e.kind,
+                "rev": e.rev,
+                "dirty": e.dirty,
+                "timestamp": e.timestamp,
+            }
+            for e in entries
+        ],
+        "series": series,
+        "verdicts": [v.to_payload() for v in verdicts],
+    }

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import platform
 import subprocess
+import time
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +27,7 @@ __all__ = [
     "current_rev",
     "load_bench",
     "render_bench",
+    "working_tree_dirty",
     "write_bench",
 ]
 
@@ -48,6 +50,28 @@ def current_rev() -> str:
         return "unknown"
 
 
+def working_tree_dirty() -> bool:
+    """Whether the working tree has uncommitted changes.
+
+    A dirty tree means ``git rev-parse`` names a commit the measured code
+    does not match, so artifacts produced from one must say so — the
+    filename gains a ``+dirty`` suffix and the payload records the flag.
+    Outside a checkout (or if git fails) the tree counts as clean, since
+    there is no revision claim to mislabel.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
 def build_payload(
     kernel_results: dict[str, dict[str, float]],
     e2e: dict[str, object],
@@ -55,10 +79,18 @@ def build_payload(
     *,
     quick: bool = False,
 ) -> dict[str, object]:
-    """Assemble the full ``BENCH_*.json`` payload from run results."""
+    """Assemble the full ``BENCH_*.json`` payload from run results.
+
+    Besides the measurements, the payload self-describes its provenance:
+    ``rev`` (short git revision), ``dirty`` (uncommitted changes were
+    present), and ``timestamp`` (epoch seconds) — so history ordering
+    (:mod:`repro.bench.history`) never has to trust filenames.
+    """
     return {
         "schema": BENCH_SCHEMA,
         "rev": current_rev(),
+        "dirty": working_tree_dirty(),
+        "timestamp": time.time(),
         "quick": quick,
         "host": {
             "python": platform.python_version(),
@@ -74,8 +106,13 @@ def build_payload(
 def bench_artifact_path(
     payload: dict[str, object], out_dir: str | Path = "."
 ) -> Path:
-    """Conventional artifact filename for a payload: ``BENCH_<rev>.json``."""
-    return Path(out_dir) / f"BENCH_{payload.get('rev', 'unknown')}.json"
+    """Conventional artifact filename for a payload: ``BENCH_<rev>.json``,
+    with a ``+dirty`` suffix when the payload was measured on a working
+    tree that did not match its recorded revision."""
+    rev = payload.get("rev", "unknown")
+    if payload.get("dirty"):
+        rev = f"{rev}+dirty"
+    return Path(out_dir) / f"BENCH_{rev}.json"
 
 
 def write_bench(payload: dict[str, object], path: str | Path | None = None) -> Path:
@@ -101,6 +138,7 @@ def render_bench(payload: dict[str, object]) -> str:
     """Human-readable summary of one bench artifact."""
     lines = [
         f"bench {payload['rev']}"
+        + ("+dirty" if payload.get("dirty") else "")
         + (" (quick)" if payload.get("quick") else "")
         + f" — python {payload['host']['python']}, numpy {payload['host']['numpy']}",
         "",

@@ -19,6 +19,9 @@ Examples::
     repro slo check out/run.json --spec examples/slo/serve.json
     repro bench                       # benchmark kernels + fig3 slice
     repro bench --compare BENCH_baseline.json   # CI regression gate
+    repro bench --matrix examples/bench/kernel_workload.yaml --quick
+    repro bench --history bench-history/        # speedup trend + drift gate
+    repro matrix validate examples/bench/*.yaml examples/bench/*.json
     repro submit cricket --crf 30 --spool .repro/spool.jsonl
     repro serve --spool .repro/spool.jsonl --telemetry out-serve/
     repro serve --mix table3 --count 8          # the paper's §V task mix
@@ -37,9 +40,11 @@ precedence order — **CLI flag > environment > default** — implemented by
 ``REPRO_KERNELS``, ``REPRO_FAULT_PLAN``, ``REPRO_RESUME``,
 ``REPRO_CHECKPOINT_DIR``, ``REPRO_RETRY_*``, ``REPRO_SLO_SPEC``,
 ``REPRO_METRICS_OUT``, ``REPRO_METRICS_INTERVAL``,
-``REPRO_LOADTEST_*``, ``REPRO_FLEET``, ``REPRO_OBJECTIVE``).
+``REPRO_LOADTEST_*``, ``REPRO_FLEET``, ``REPRO_OBJECTIVE``,
+``REPRO_BENCH_MATRIX``, ``REPRO_BENCH_HISTORY``).
 Subcommands read only the resolved ``Settings``; nothing else consults
-the environment.
+the environment. The full knob catalogue lives in
+``docs/CONFIGURATION.md``.
 
 A sweep whose cells exhaust their retry budget does not abort: every
 computable cell completes and is stored, the failures are summarized on
@@ -67,7 +72,12 @@ per provisioned dollar, p99 end-to-end latency, and cost per completed
 job (exit 1 if any fleet shed or failed jobs). ``repro slo check
 RUN.json --spec SPEC.json`` re-evaluates an exported artifact and exits
 2 on breach (the CI gate). ``repro bench`` keeps its historical
-behaviour (exit 4 on regression vs. the baseline artifact).
+behaviour (exit 4 on regression vs. the baseline artifact); ``repro
+bench --matrix SPEC`` runs a declarative benchmark matrix (exit 1 if
+any cell failed), ``repro bench --history DIR`` renders the speedup
+trend over past artifacts and exits 5 when the rolling-window detector
+flags drift, and ``repro matrix validate SPEC...`` checks specs without
+running them. See ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
@@ -126,7 +136,9 @@ def _bench_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="Benchmark the codec kernels (both REPRO_KERNELS "
-                    "backends) and an end-to-end fig3 slice.",
+                    "backends) and an end-to-end fig3 slice; or run a "
+                    "declarative benchmark matrix (--matrix) / render "
+                    "the speedup trend over past artifacts (--history).",
     )
     parser.add_argument(
         "--compare",
@@ -147,7 +159,8 @@ def _bench_main(argv: list[str]) -> int:
         "--output",
         metavar="PATH",
         default=None,
-        help="artifact path (default: BENCH_<rev>.json in the cwd)",
+        help="artifact path (default: BENCH_<rev>.json in the cwd; with "
+             "--history, an optional trend-JSON path)",
     )
     parser.add_argument(
         "--reps",
@@ -159,9 +172,78 @@ def _bench_main(argv: list[str]) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smaller e2e slice, single repetitions (smoke mode)",
+        help="smaller e2e slice, single repetitions (smoke mode); with "
+             "--matrix, small proxy clips per cell",
+    )
+    parser.add_argument(
+        "--matrix",
+        metavar="SPEC",
+        default=None,
+        help="run a declarative benchmark matrix from a YAML/JSON spec "
+             "(default: $REPRO_BENCH_MATRIX; see docs/BENCHMARKS.md)",
+    )
+    parser.add_argument(
+        "--matrix-out",
+        metavar="PATH",
+        default="matrix.json",
+        help="matrix artifact path (default: matrix.json)",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help="render the speedup trend over the BENCH_*.json / "
+             "matrix*.json artifacts in DIR; exit 5 when the rolling-"
+             "window detector flags drift "
+             "(default: $REPRO_BENCH_HISTORY)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="K",
+        help="rolling-window size for --history (default: 5)",
+    )
+    parser.add_argument(
+        "--drift",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed drop of the window median below the history best "
+             "before --history flags drift (default: 0.10)",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=("reference", "vectorized"),
+        default=None,
+        help="CLI-layer kernel-backend override for matrix cells "
+             "(spec < env < CLI; axes still pin their own cells)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="CLI-layer worker-count override for matrix sweep cells",
     )
     args = parser.parse_args(argv)
+
+    from repro.api import Settings
+
+    try:
+        settings = Settings.resolve(
+            kernels=args.kernels,
+            jobs=args.jobs,
+            bench_matrix=args.matrix,
+            bench_history=args.history,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if settings.bench_history is not None:
+        return _bench_history(settings, args)
+    if settings.bench_matrix is not None:
+        return _bench_matrix(settings, args)
 
     from repro.bench import compare_bench, load_bench, render_bench, run_bench, write_bench
 
@@ -183,6 +265,101 @@ def _bench_main(argv: list[str]) -> int:
     print()
     print(report)
     return 4 if regressions else 0
+
+
+def _bench_matrix(settings, args) -> int:
+    """``repro bench --matrix``: run a declarative benchmark matrix."""
+    from repro.api import bench_matrix
+    from repro.bench import SpecError
+    from repro.obs import render_matrix
+
+    overrides: dict[str, object] = {}
+    if args.kernels is not None:
+        overrides["kernels"] = args.kernels
+    if args.jobs is not None:
+        overrides["jobs"] = args.jobs
+    try:
+        payload = bench_matrix(
+            settings.bench_matrix,
+            quick=args.quick,
+            reps=args.reps,
+            out=args.matrix_out,
+            overrides=overrides,
+        )
+    except (SpecError, OSError) as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 1
+    print(render_matrix(payload))
+    print(f"\nwrote {args.matrix_out}")
+    failed = [c for c in payload["cells"] if c["status"] != "ok"]
+    return 1 if failed else 0
+
+
+def _bench_history(settings, args) -> int:
+    """``repro bench --history``: trend table + rolling-window gate."""
+    from repro.bench import DEFAULT_DRIFT, DEFAULT_WINDOW, load_history, trend_payload
+    from repro.obs import render_trend
+
+    window = args.window if args.window is not None else DEFAULT_WINDOW
+    drift = args.drift if args.drift is not None else DEFAULT_DRIFT
+    try:
+        entries = load_history(settings.bench_history)
+        if not entries:
+            print(
+                f"repro bench: no BENCH_*.json / matrix*.json artifacts "
+                f"in {settings.bench_history}",
+                file=sys.stderr,
+            )
+            return 1
+        trend = trend_payload(entries, window=window, drift=drift)
+    except (OSError, ValueError) as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 1
+    print(render_trend(trend))
+    if args.output is not None:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(trend, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nwrote {out}")
+    drifting = [v for v in trend["verdicts"] if v["status"] == "drift"]
+    return 5 if drifting else 0
+
+
+def _matrix_main(argv: list[str]) -> int:
+    """``repro matrix validate``: check specs without running anything."""
+    parser = argparse.ArgumentParser(
+        prog="repro matrix",
+        description="Validate declarative benchmark-matrix specs "
+                    "(schema, axes, cell count) without running them.",
+    )
+    parser.add_argument("action", choices=("validate",))
+    parser.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="YAML/JSON matrix spec file(s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench import SpecError, load_spec
+
+    status = 0
+    for path in args.specs:
+        try:
+            spec = load_spec(path)
+        except SpecError as exc:
+            print(f"repro matrix: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        axes = ", ".join(
+            f"{name}[{len(values)}]" for name, values in spec.axes
+        )
+        print(
+            f"{path}: ok — {spec.name} (leg={spec.leg}, axes: {axes}, "
+            f"{spec.n_cells()} cells)"
+        )
+    return status
 
 
 def _list_main() -> int:
@@ -766,6 +943,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv[:1] == ["bench"]:
         return _bench_main(argv[1:])
+    if argv[:1] == ["matrix"]:
+        return _matrix_main(argv[1:])
     if argv[:1] == ["serve"]:
         return _serve_main(argv[1:])
     if argv[:1] == ["loadtest"]:
@@ -785,7 +964,11 @@ def main(argv: list[str] | None = None) -> int:
                "telemetry artifacts; `repro cache {stats,clear}` "
                "inspects/clears the persistent result cache; "
                "`repro bench [--compare BASELINE.json]` benchmarks the "
-               "codec kernels and the fig3 slice; `repro submit CLIP` "
+               "codec kernels and the fig3 slice (`--matrix SPEC` runs "
+               "a declarative benchmark matrix, `--history DIR` renders "
+               "the speedup trend and gates on rolling-window drift); "
+               "`repro matrix validate SPEC...` checks matrix specs; "
+               "`repro submit CLIP` "
                "queues a job and `repro serve` runs the transcoding job "
                "service over the queue; `repro loadtest` drives the "
                "service with sustained open-loop traffic on a virtual "

@@ -1,0 +1,164 @@
+"""Property tests for benchmark-matrix expansion and settings layering.
+
+Three invariants (Hypothesis-driven):
+
+- **Cross-product size**: ``expand()`` yields exactly the product of the
+  axis lengths, with unique cell ids, in a deterministic order;
+- **Duplicate rejection**: an axis repeating a value is always rejected
+  (duplicate cells would double-count the same run);
+- **Precedence round-trip**: for any split of knobs across the spec's
+  ``settings:`` layer, the environment, and CLI overrides, the resolved
+  ``Settings`` always honours spec < env < CLI, and a value placed in
+  exactly one layer survives resolution unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.api import Settings
+from repro.bench import MatrixSpec, SpecError, resolve_cell_settings
+
+# -- strategies ---------------------------------------------------------
+
+# Encode-leg axes with scalar values the spec loader would accept.
+_AXIS_POOLS = {
+    "clip": ("cricket", "landscape", "foreman", "news", "crowd"),
+    "kernels": ("reference", "vectorized"),
+    "crf": (18, 23, 28, 35),
+    "refs": (1, 2, 4),
+    "preset": ("fast", "medium", "slow"),
+}
+
+
+def _axis_strategy(name):
+    pool = _AXIS_POOLS[name]
+    return st.lists(
+        st.sampled_from(pool), min_size=1, max_size=len(pool), unique=True
+    ).map(tuple)
+
+
+axes_strategy = st.lists(
+    st.sampled_from(sorted(_AXIS_POOLS)), min_size=1, max_size=4, unique=True
+).flatmap(
+    lambda names: st.tuples(
+        *(st.tuples(st.just(n), _axis_strategy(n)) for n in names)
+    )
+)
+
+
+def _spec(axes, settings=None):
+    params = {} if any(name == "clip" for name, _v in axes) else {
+        "clip": "cricket"
+    }
+    return MatrixSpec(
+        name="prop", leg="encode", axes=axes, params=params,
+        settings=settings or {},
+    )
+
+
+@contextmanager
+def _env_jobs(value):
+    """Pin or clear REPRO_JOBS without fixture machinery — hypothesis
+    runs many examples per test call, so each example restores itself."""
+    saved = os.environ.pop("REPRO_JOBS", None)
+    if value is not None:
+        os.environ["REPRO_JOBS"] = str(value)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_JOBS", None)
+        if saved is not None:
+            os.environ["REPRO_JOBS"] = saved
+        Settings.reset()
+
+
+# -- cross-product size -------------------------------------------------
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(axes=axes_strategy)
+def test_expansion_size_is_product_of_axis_lengths(axes):
+    spec = _spec(axes)
+    cells = spec.expand()
+    expected = math.prod(len(values) for _name, values in axes)
+    assert spec.n_cells() == expected
+    assert len(cells) == expected
+    ids = [c.cell_id for c in cells]
+    assert len(set(ids)) == len(ids)
+    assert [c.index for c in cells] == list(range(expected))
+    # Expansion is deterministic: same spec, same layout.
+    assert [c.cell_id for c in spec.expand()] == ids
+
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(axes=axes_strategy, data=st.data())
+def test_every_axis_combination_appears_exactly_once(axes, data):
+    spec = _spec(axes)
+    cells = spec.expand()
+    combos = {tuple(c.values[name] for name, _v in axes) for c in cells}
+    assert len(combos) == len(cells)
+    # Spot-check one arbitrary combination is present.
+    pick = tuple(
+        data.draw(st.sampled_from(list(values)), label=name)
+        for name, values in axes
+    )
+    assert pick in combos
+
+
+# -- duplicate rejection ------------------------------------------------
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(axes=axes_strategy, data=st.data())
+def test_duplicated_axis_value_always_rejected(axes, data):
+    idx = data.draw(st.integers(0, len(axes) - 1), label="axis")
+    name, values = axes[idx]
+    dupe = data.draw(st.sampled_from(list(values)), label="value")
+    corrupted = list(axes)
+    corrupted[idx] = (name, values + (dupe,))
+    with pytest.raises(SpecError, match="double-count"):
+        _spec(tuple(corrupted))
+
+
+# -- precedence round-trip ----------------------------------------------
+
+_JOBS = st.integers(min_value=1, max_value=32)
+
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(
+    spec_jobs=st.none() | _JOBS,
+    env_jobs=st.none() | _JOBS,
+    cli_jobs=st.none() | _JOBS,
+)
+def test_settings_precedence_round_trip(spec_jobs, env_jobs, cli_jobs):
+    spec = _spec(
+        (("clip", ("cricket",)),),
+        settings=None if spec_jobs is None else {"jobs": spec_jobs},
+    )
+    overrides = {} if cli_jobs is None else {"jobs": cli_jobs}
+    with _env_jobs(env_jobs):
+        resolved = resolve_cell_settings(spec, spec.expand()[0], overrides)
+    # Strongest layer that set the knob wins; default otherwise.
+    expected = next(
+        (v for v in (cli_jobs, env_jobs, spec_jobs) if v is not None),
+        Settings().jobs,
+    )
+    assert resolved.jobs == expected
+
+
+@hyp_settings(max_examples=50, deadline=None)
+@given(jobs=_JOBS, layer=st.sampled_from(["spec", "env", "cli"]))
+def test_single_layer_value_survives_resolution(jobs, layer):
+    spec = _spec(
+        (("clip", ("cricket",)),),
+        settings={"jobs": jobs} if layer == "spec" else {},
+    )
+    overrides = {"jobs": jobs} if layer == "cli" else {}
+    with _env_jobs(jobs if layer == "env" else None):
+        resolved = resolve_cell_settings(spec, spec.expand()[0], overrides)
+    assert resolved.jobs == jobs

@@ -4,12 +4,18 @@ Every module must carry a module docstring and an explicit ``__all__``,
 and every ``__all__`` entry must resolve to a real attribute — the
 public surface documented in docs/ARCHITECTURE.md is generated from
 these, so a drifting ``__all__`` is a docs bug, not just style.
+
+The docs-drift audit at the bottom holds docs/CONFIGURATION.md to the
+same standard: it is the documented-knob contract, so a ``Settings``
+field or ``REPRO_*`` variable that exists in code but not in the doc
+fails the suite.
 """
 
 from __future__ import annotations
 
 import importlib
 import pkgutil
+from pathlib import Path
 
 import pytest
 
@@ -66,3 +72,60 @@ def test_public_callables_documented(name):
         if callable(obj) and not (obj.__doc__ or "").strip():
             undocumented.append(entry)
     assert not undocumented, f"{name}: undocumented public API: {undocumented}"
+
+
+# ----------------------------------------------------------------------
+# Docs-drift audit: docs/CONFIGURATION.md is the knob contract
+# ----------------------------------------------------------------------
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def configuration_doc() -> str:
+    path = _REPO_ROOT / "docs" / "CONFIGURATION.md"
+    assert path.exists(), "docs/CONFIGURATION.md is the knob contract and must exist"
+    return path.read_text(encoding="utf-8")
+
+
+def test_every_settings_field_documented(configuration_doc):
+    """A new Settings field must land in docs/CONFIGURATION.md with it."""
+    from repro.api import Settings
+
+    missing = [
+        field for field in Settings.__dataclass_fields__
+        if f"`{field}`" not in configuration_doc
+    ]
+    assert not missing, (
+        f"Settings fields missing from docs/CONFIGURATION.md: {missing} — "
+        "add a row to the relevant knob table"
+    )
+
+
+def test_every_env_var_documented(configuration_doc):
+    """Every ENV_VARS entry (and the retry family) must be in the doc."""
+    from repro.api import ENV_VARS
+
+    expected = set(ENV_VARS) | {
+        "REPRO_RETRY_ATTEMPTS", "REPRO_RETRY_BASE_DELAY",
+        "REPRO_RETRY_GROWTH", "REPRO_RETRY_MAX_DELAY",
+        "REPRO_RETRY_JITTER", "REPRO_RETRY_SEED",
+        # pytest-benchmark sizing lives outside Settings but is still a
+        # documented knob.
+        "REPRO_BENCH_SCALE",
+    }
+    missing = sorted(v for v in expected if v not in configuration_doc)
+    assert not missing, (
+        f"env vars missing from docs/CONFIGURATION.md: {missing}"
+    )
+
+
+def test_benchmarks_doc_covers_matrix_contract():
+    """docs/BENCHMARKS.md documents every leg kind and both schemas."""
+    from repro.bench import LEG_KINDS, MATRIX_SCHEMA, TREND_SCHEMA
+
+    doc = (_REPO_ROOT / "docs" / "BENCHMARKS.md").read_text(encoding="utf-8")
+    missing = sorted(leg for leg in LEG_KINDS if f"`{leg}`" not in doc)
+    assert not missing, f"legs missing from docs/BENCHMARKS.md: {missing}"
+    assert MATRIX_SCHEMA in doc
+    assert TREND_SCHEMA in doc

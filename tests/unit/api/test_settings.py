@@ -20,6 +20,7 @@ ALL_ENV = (
     "REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_KERNELS", "REPRO_FAULT_PLAN",
     "REPRO_RESUME", "REPRO_CHECKPOINT_DIR", "REPRO_RETRY_ATTEMPTS",
     "REPRO_RETRY_BASE_DELAY", "REPRO_RETRY_MAX_DELAY",
+    "REPRO_BENCH_MATRIX", "REPRO_BENCH_HISTORY",
 )
 
 
@@ -100,6 +101,26 @@ class TestPrecedence:
         monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "5")
         s = Settings.from_env()
         assert s.retry.max_attempts == 5
+
+    def test_bench_paths_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_MATRIX", str(tmp_path / "m.yaml"))
+        monkeypatch.setenv("REPRO_BENCH_HISTORY", str(tmp_path / "hist"))
+        s = Settings.from_env()
+        assert s.bench_matrix == tmp_path / "m.yaml"
+        assert s.bench_history == tmp_path / "hist"
+
+    def test_cli_bench_paths_beat_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_MATRIX", str(tmp_path / "env.yaml"))
+        s = Settings.resolve(bench_matrix=tmp_path / "cli.yaml")
+        assert s.bench_matrix == tmp_path / "cli.yaml"
+
+    def test_env_overrides_empty_when_unset(self):
+        assert Settings.env_overrides() == {}
+
+    def test_env_overrides_returns_only_set_keys(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        overrides = Settings.env_overrides()
+        assert overrides == {"jobs": 3}
 
 
 class TestApply:

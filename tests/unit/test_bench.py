@@ -47,6 +47,9 @@ def _fake_payload(kernel_speedups, e2e_speedup, rev="abc1234"):
     }
     payload = build_payload(kernels, e2e, MetricsRegistry())
     payload["rev"] = rev
+    # Pin provenance: build_payload stamps the *ambient* tree state, and
+    # these tests must not depend on whether the checkout is dirty.
+    payload["dirty"] = False
     return payload
 
 
@@ -91,6 +94,29 @@ def test_write_load_roundtrip(tmp_path):
     assert path.read_text().endswith("\n")
     assert load_bench(path) == payload
     assert bench_artifact_path(payload, tmp_path).name == "BENCH_abc1234.json"
+
+
+def test_payload_records_provenance():
+    payload = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    assert isinstance(payload["dirty"], bool)
+    assert isinstance(payload["timestamp"], float)
+    assert payload["timestamp"] > 0
+
+
+def test_dirty_payload_suffixes_artifact_name(tmp_path):
+    payload = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    payload["dirty"] = True
+    assert (
+        bench_artifact_path(payload, tmp_path).name
+        == "BENCH_abc1234+dirty.json"
+    )
+
+
+def test_render_bench_marks_dirty():
+    payload = _fake_payload({"transform.forward_4x4": 3.0}, 3.0)
+    assert "+dirty" not in render_bench(payload)
+    payload["dirty"] = True
+    assert "abc1234+dirty" in render_bench(payload)
 
 
 def test_load_bench_rejects_wrong_schema(tmp_path):

@@ -220,6 +220,130 @@ class TestEngineFlags:
         assert parallel.default_cache() is None
 
 
+class TestBenchMatrixCommand:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch):
+        from repro.api import Settings
+
+        monkeypatch.delenv("REPRO_BENCH_MATRIX", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_HISTORY", raising=False)
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        yield
+        Settings.reset()
+
+    def _write_spec(self, tmp_path):
+        spec = tmp_path / "m.json"
+        spec.write_text(json.dumps({
+            "name": "cli-smoke",
+            "leg": "encode",
+            "axes": {"kernels": ["reference", "vectorized"],
+                     "clip": ["cricket"]},
+            "params": {"crf": 23},
+        }))
+        return spec
+
+    def test_matrix_run_writes_artifact(self, tmp_path, capsys):
+        from repro.bench import load_matrix
+
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "matrix.json"
+        assert main(["bench", "--matrix", str(spec), "--quick",
+                     "--matrix-out", str(out)]) == 0
+        payload = load_matrix(out)
+        assert [c["status"] for c in payload["cells"]] == ["ok", "ok"]
+        text = capsys.readouterr().out
+        assert "matrix: cli-smoke" in text
+        assert "2 cells, 2 ok" in text
+
+    def test_matrix_env_var_selects_spec(self, tmp_path, capsys,
+                                         monkeypatch):
+        spec = self._write_spec(tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_MATRIX", str(spec))
+        assert main(["bench", "--quick",
+                     "--matrix-out", str(tmp_path / "m.json")]) == 0
+        assert "matrix: cli-smoke" in capsys.readouterr().out
+
+    def test_invalid_spec_fails_with_line_context(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(
+            "name: bad\nleg: encode\naxes:\n  rate: [4]\n"
+        )
+        assert main(["bench", "--matrix", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.yaml:4:" in err
+        assert "unknown axis" in err
+
+    def test_matrix_validate_subcommand(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        assert main(["matrix", "validate", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "ok — cli-smoke" in out
+        assert "2 cells" in out
+
+    def test_matrix_validate_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "leg": "warp",
+                                   "axes": {"clip": ["cricket"]}}))
+        assert main(["matrix", "validate", str(bad)]) == 1
+        assert "unknown leg" in capsys.readouterr().err
+
+
+class TestBenchHistoryCommand:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch):
+        from repro.api import Settings
+
+        monkeypatch.delenv("REPRO_BENCH_MATRIX", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_HISTORY", raising=False)
+        yield
+        Settings.reset()
+
+    def _write_history(self, tmp_path, speedups):
+        from repro.bench import BENCH_SCHEMA
+
+        for i, s in enumerate(speedups):
+            (tmp_path / f"BENCH_rev{i}.json").write_text(json.dumps({
+                "schema": BENCH_SCHEMA,
+                "rev": f"rev{i}",
+                "dirty": False,
+                "timestamp": 1000.0 + i,
+                "kernels": {},
+                "e2e": {"speedup": s},
+            }))
+
+    def test_flat_history_exits_zero(self, tmp_path, capsys):
+        self._write_history(tmp_path, [3.0, 3.0, 3.0])
+        assert main(["bench", "--history", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "e2e:fig3-slice" in out
+        assert "no drift" in out
+
+    def test_slow_drift_exits_five(self, tmp_path, capsys):
+        # The accumulating-drop scenario the pairwise exit-4 gate misses.
+        self._write_history(tmp_path, [3.0, 2.9, 2.6, 2.4])
+        assert main(["bench", "--history", str(tmp_path),
+                     "--window", "3"]) == 5
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_trend_json_written_with_output(self, tmp_path, capsys):
+        self._write_history(tmp_path, [3.0, 3.0])
+        out = tmp_path / "trend.json"
+        assert main(["bench", "--history", str(tmp_path),
+                     "--output", str(out)]) == 0
+        trend = json.loads(out.read_text())
+        assert trend["schema"] == "repro-bench-trend/v1"
+        assert len(trend["entries"]) == 2
+
+    def test_empty_history_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["bench", "--history", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_corrupt_artifact_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "BENCH_x.json").write_text("{nope")
+        assert main(["bench", "--history", str(tmp_path)]) == 1
+        assert "unreadable" in capsys.readouterr().err
+
+
 class TestReport:
     def _make_artifact(self, tmp_path, name):
         out = tmp_path / name

@@ -25,6 +25,8 @@ DEFAULT_FILES = [
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/PERFORMANCE.md",
+    "docs/BENCHMARKS.md",
+    "docs/CONFIGURATION.md",
 ]
 
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
