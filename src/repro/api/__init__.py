@@ -47,6 +47,7 @@ from repro.api.types import (
 #: ``repro.api.types`` while the facade imports the service layer, and
 #: eager package imports here would close that cycle.
 _LAZY_EXPORTS = {
+    "backends": ("repro.api.facade", "backends"),
     "bench_matrix": ("repro.api.facade", "bench_matrix"),
     "encode": ("repro.api.facade", "encode"),
     "fleet_compare": ("repro.api.facade", "fleet_compare"),
@@ -98,6 +99,7 @@ __all__ = [
     "Settings",
     "TranscodeRequest",
     "TranscodeResult",
+    "backends",
     "bench_matrix",
     "encode",
     "fleet_compare",

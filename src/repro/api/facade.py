@@ -45,6 +45,7 @@ from repro.service.service import (
 from repro.video.vbench import load_video
 
 __all__ = [
+    "backends",
     "bench_matrix",
     "encode",
     "fleet_compare",
@@ -55,6 +56,24 @@ __all__ = [
     "serve",
     "sweep",
 ]
+
+
+def backends():
+    """Every registered kernel backend, in registration order.
+
+    Returns the :class:`~repro.codec.kernels.Backend` records themselves:
+    each carries its capability set, what it inherits from (``base``),
+    and — for optional backends whose dependency is missing, like
+    ``numba`` without numba installed — an ``unavailable_reason``
+    explaining why selecting it will fall back. Pick a backend with
+    ``Settings(kernels=...)`` or inspect availability programmatically::
+
+        >>> [b.name for b in api.backends() if b.available]
+        ['reference', 'vectorized', 'batched']
+    """
+    from repro.codec import kernels as _kernels
+
+    return _kernels.all_backends()
 
 
 def _as_request(

@@ -32,6 +32,7 @@ ENV_VARS = {
     "REPRO_JOBS": "jobs",
     "REPRO_CACHE_DIR": "cache_dir",
     "REPRO_KERNELS": "kernels",
+    "REPRO_SHM": "shm",
     "REPRO_FAULT_PLAN": "fault_plan",
     "REPRO_RESUME": "resume",
     "REPRO_CHECKPOINT_DIR": "checkpoint_dir",
@@ -75,6 +76,10 @@ class Settings:
     cache_dir: Path | None = None
     cache_enabled: bool = True
     kernels: str = _kernels.DEFAULT_BACKEND
+    #: Shared-memory frame transport for multi-process sweeps (see
+    #: :mod:`repro.experiments.transport`); ``False`` forces the
+    #: historical per-worker decode.
+    shm: bool = True
     retry: RetryPolicy = RetryPolicy()
     fault_plan: str | None = None
     resume: bool = False
@@ -176,8 +181,20 @@ class Settings:
         if cache_raw:
             kwargs["cache_dir"] = Path(cache_raw)
         kernels_raw = os.environ.get("REPRO_KERNELS", "").strip().lower()
-        if kernels_raw in _kernels.KERNEL_BACKENDS:
+        if kernels_raw:
+            # Reject unknown names eagerly: a typo'd REPRO_KERNELS used
+            # to be silently ignored and only surface (if at all) as a
+            # mysteriously slow run on the default backend.
+            if kernels_raw not in _kernels.KERNEL_BACKENDS:
+                raise ValueError(
+                    f"REPRO_KERNELS={kernels_raw!r} is not a registered "
+                    f"kernel backend; choose from "
+                    f"{', '.join(_kernels.KERNEL_BACKENDS)}"
+                )
             kwargs["kernels"] = kernels_raw
+        shm_raw = os.environ.get("REPRO_SHM", "").strip().lower()
+        if shm_raw:
+            kwargs["shm"] = shm_raw in _TRUTHY
         plan_raw = os.environ.get("REPRO_FAULT_PLAN", "").strip()
         if plan_raw:
             kwargs["fault_plan"] = plan_raw
@@ -241,6 +258,7 @@ class Settings:
         cache_dir: str | Path | None = None,
         no_cache: bool = False,
         kernels: str | None = None,
+        no_shm: bool = False,
         retry: RetryPolicy | None = None,
         fault_plan: str | None = None,
         resume: bool | None = None,
@@ -260,8 +278,8 @@ class Settings:
         """Resolve CLI flags over the environment over the defaults.
 
         Every parameter is a CLI flag value; ``None`` (or ``False`` for
-        ``no_cache``) means the flag was not given, so the environment
-        (then the default) wins for that field.
+        ``no_cache`` / ``no_shm``) means the flag was not given, so the
+        environment (then the default) wins for that field.
         """
         settings = cls.from_env()
         updates: dict[str, object] = {}
@@ -273,6 +291,8 @@ class Settings:
             updates["cache_enabled"] = False
         if kernels is not None:
             updates["kernels"] = kernels
+        if no_shm:
+            updates["shm"] = False
         if retry is not None:
             updates["retry"] = retry
         if fault_plan is not None:
@@ -320,6 +340,7 @@ class Settings:
         """
         from repro import resilience
         from repro.experiments import parallel as engine
+        from repro.experiments import transport
 
         engine.configure(
             jobs=self.jobs,
@@ -335,7 +356,8 @@ class Settings:
             resume=self.resume,
             checkpoint_dir=self.checkpoint_dir,
         )
-        _kernels.set_backend(self.kernels)
+        _kernels.select_backend(self.kernels)
+        transport.configure(self.shm)
         return self
 
     @staticmethod
@@ -344,7 +366,9 @@ class Settings:
         behaviour (used by tests and by long-lived embedding hosts)."""
         from repro import resilience
         from repro.experiments import parallel as engine
+        from repro.experiments import transport
 
         engine.configure(jobs=None, cache_dir=None)
         resilience.reset()
-        _kernels.set_backend(None)
+        _kernels.select_backend(None)
+        transport.configure(None)

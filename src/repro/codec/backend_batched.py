@@ -1,0 +1,106 @@
+"""The ``batched`` kernel backend: whole-GOP/frame batching on top of
+the vectorized NumPy paths.
+
+The vectorized backend already removed per-element Python loops inside
+each kernel call; what remains on the profile is per-*call* overhead —
+one bulk bit append per 4x4 block, one float cast per macroblock. This
+backend attacks that layer while keeping bit-identity to ``reference``:
+
+- :func:`encode_blocks_folded` folds a whole ``(n, 4, 4)`` batch of
+  run-level codes into **one** big-int append instead of one per block
+  (codeword concatenation is associative, so the emitted bitstream is
+  unchanged — only the number of ``BitWriter.append_bits`` calls drops).
+  Every entropy call site benefits: the luma residual batch per
+  macroblock, the intra-4x4 chain, and the four-block chroma batches.
+- The encoder, seeing the ``"batched"`` capability, additionally hoists
+  the per-macroblock ``astype(float64)`` casts to one per-frame cast and
+  serves 4x4 intra source blocks as strided views of it (see
+  ``_FrameContext.src_mb_f`` in :mod:`repro.codec.encoder`).
+
+What is *not* batched, deliberately: the macroblock loop itself (rate
+control feeds each MB's bit count back into the next MB's QP), the
+intra-4x4 block chain (each block predicts from the reconstruction its
+predecessors just wrote), and deblocking's dependent edge order. Those
+are sequential by construction; batching them would change outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["encode_blocks_folded", "register"]
+
+
+def encode_blocks_folded(writer, blocks: np.ndarray) -> list[int]:
+    """Run-level encode ``(n, 4, 4)`` blocks with one bulk bit append.
+
+    Emits exactly the bitstream of the per-block vectorized path in
+    :func:`repro.codec.entropy.encode_blocks` (each block's big-int code
+    is built identically; concatenating them before the single
+    ``append_bits`` equals appending them one by one) and returns the
+    same per-block bit counts.
+    """
+    from repro.codec.transform import ZIGZAG_4X4
+
+    n = blocks.shape[0]
+    scans = blocks[:, ZIGZAG_4X4[0], ZIGZAG_4X4[1]]  # (n, 16)
+    nz_mask = scans != 0
+
+    # All exp-Golomb codewords and widths for the whole batch at once.
+    # np.nonzero walks row-major, so entries arrive grouped by block in
+    # scan order — exactly the order the per-block path emits them.
+    block_idx, pos = np.nonzero(nz_mask)
+    levels = scans[block_idx, pos].astype(np.int64)
+    # Zero-run codes: distance to the previous nonzero in the same block
+    # (or to -1 at a block start).
+    prev = np.empty_like(pos)
+    if pos.size:
+        prev[0] = -1
+        prev[1:] = np.where(block_idx[1:] == block_idx[:-1], pos[:-1], -1)
+    run_codes = pos - prev
+    level_codes = np.where(levels > 0, 2 * levels, 1 - 2 * levels)
+    header_codes = nz_mask.sum(axis=1) + 1  # (n,) nonzero counts + 1
+    # Codeword width 2*bit_length-1; frexp's exponent IS bit_length for
+    # positive ints (exact in float64 below 2**53 — levels are int32).
+    run_widths = 2 * np.frexp(run_codes.astype(np.float64))[1] - 1
+    level_widths = 2 * np.frexp(level_codes.astype(np.float64))[1] - 1
+    header_widths = 2 * np.frexp(header_codes.astype(np.float64))[1] - 1
+    per_block = header_widths + np.bincount(
+        block_idx, weights=run_widths + level_widths, minlength=n
+    ).astype(np.int64)
+
+    # Assembly must stay in Python big ints; everything numeric is done,
+    # so hand the loop plain lists.
+    bi = block_idx.tolist()
+    rc, rw = run_codes.tolist(), run_widths.tolist()
+    lc, lw = level_codes.tolist(), level_widths.tolist()
+    head = header_codes.tolist()
+    widths = per_block.tolist()
+    total_acc = 0
+    total_bits = 0
+    j = 0
+    n_entries = len(bi)
+    for b in range(n):
+        acc = head[b]
+        while j < n_entries and bi[j] == b:
+            acc = (acc << rw[j]) | rc[j]
+            acc = (acc << lw[j]) | lc[j]
+            j += 1
+        total_acc = (total_acc << widths[b]) | acc
+        total_bits += widths[b]
+    writer.append_bits(total_acc, total_bits)
+    return widths
+
+
+def register(register_backend) -> None:
+    """Register the ``batched`` backend with the kernel registry."""
+    register_backend(
+        "batched",
+        impls={"entropy.encode_blocks": encode_blocks_folded},
+        capabilities=("vectorized", "batched"),
+        base="vectorized",
+        description=(
+            "vectorized plus frame-level cast hoists and one bulk bit "
+            "append per block batch"
+        ),
+    )

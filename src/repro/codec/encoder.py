@@ -131,6 +131,21 @@ class _FrameContext:
     mv_grid: list[list[MotionVector | None]] = field(default_factory=list)
     mb_variances: np.ndarray | None = None
     mean_variance: float = 0.0
+    #: Whole-frame float64 cast of ``src`` (batched backends only): the
+    #: per-MB ``astype`` calls collapse into one per-frame cast, served
+    #: back as views. ``None`` keeps the per-MB cast path.
+    src_f: np.ndarray | None = None
+
+    def src_mb_f(self, y: int, x: int) -> np.ndarray:
+        """Float64 16x16 source macroblock at plane coordinates (y, x).
+
+        A zero-copy view of the per-frame cast when the batched hoist is
+        on, else a fresh per-MB cast — the float64 values are identical
+        either way, so downstream arithmetic is unchanged.
+        """
+        if self.src_f is not None:
+            return self.src_f[y : y + 16, x : x + 16]
+        return self.src[y : y + 16, x : x + 16].astype(np.float64)
 
 
 @dataclass
@@ -369,6 +384,11 @@ class Encoder:
             recon=np.zeros_like(src),
             frame_type=ftype,
             base_qp=base_qp,
+            src_f=(
+                src.astype(np.float64)
+                if kernels.has_capability("batched")
+                else None
+            ),
         )
         if ftype is not FrameType.I:
             past = [e for e in dpb if e.display_index < disp_idx]
@@ -463,7 +483,7 @@ class Encoder:
         # SKIP check: prediction at the predicted MV whose residual
         # quantizes to all-zero costs essentially nothing to code.
         if skip_candidate is not None:
-            residual = src_mb.astype(np.float64) - skip_candidate
+            residual = ctx.src_mb_f(y, x) - skip_candidate
             levels = trellis_quantize(
                 forward_4x4(blockify_16x16(residual)), qp_mb, level=0
             )
@@ -604,7 +624,7 @@ class Encoder:
         l0 = ctx.refs_l0[mv0.ref].padded
         pred0 = fetch_prediction(l0, y, x, mv0.dx, mv0.dy)
         bi_pred = (pred0 + pred1) / 2.0
-        bi_dist = float(np.sum(np.abs(src_mb.astype(np.float64) - bi_pred)))
+        bi_dist = float(np.sum(np.abs(ctx.src_mb_f(y, x) - bi_pred)))
         bi_rate = (
             mv_bits(mv0, pred_mv) + mv_bits(mv1, pred_mv) + ue_bits(_MODE_IDS[MBMode.BI])
         )
@@ -716,17 +736,25 @@ class Encoder:
         total_modes_tried = 0
         # The block chain is inherently sequential (each block predicts
         # from the reconstruction its predecessors just wrote), but the
-        # source casts are not: hoist them into one blockify per MB.
-        srcs = (
-            blockify_16x16(src_mb).astype(np.float64)
-            if kernels.is_vectorized()
-            else None
-        )
+        # source casts are not: hoist them into one blockify per MB, or
+        # — under a batched backend — serve strided views of the
+        # per-frame float cast with no per-MB copy at all.
+        srcs_grid = srcs = None
+        if ctx.src_f is not None:
+            srcs_grid = (
+                ctx.src_f[y0 : y0 + 16, x0 : x0 + 16]
+                .reshape(4, 4, 4, 4)
+                .transpose(0, 2, 1, 3)
+            )
+        elif kernels.is_vectorized():
+            srcs = blockify_16x16(src_mb).astype(np.float64)
         for by in range(4):
             for bx in range(4):
                 y = y0 + by * 4
                 x = x0 + bx * 4
-                if srcs is not None:
+                if srcs_grid is not None:
+                    src4f = srcs_grid[by, bx]
+                elif srcs is not None:
                     src4f = srcs[by * 4 + bx]
                 else:
                     src4f = src_mb[
@@ -859,7 +887,7 @@ class Encoder:
     ) -> CodedMacroblock:
         options = self.options
         y, x = mb_y * 16, mb_x * 16
-        residual = src_mb.astype(np.float64) - prediction
+        residual = ctx.src_mb_f(y, x) - prediction
         blocks = blockify_16x16(residual)
         coeffs = forward_4x4(blocks)
         levels = trellis_quantize(coeffs, qp_mb, level=options.trellis)

@@ -1,95 +1,388 @@
-"""Kernel backend switch: ``REPRO_KERNELS=reference|vectorized``.
+"""Pluggable kernel-backend registry (``REPRO_KERNELS=<backend>``).
 
 The codec's hot loops (SATD/DCT/quant in :mod:`repro.codec.transform`,
 candidate scoring in :mod:`repro.codec.motion`, 4x4 intra prediction in
 :mod:`repro.codec.intra`, edge filtering in :mod:`repro.codec.deblock`,
-run-level coding in :mod:`repro.codec.entropy`) each exist in two
-implementations:
+run-level coding in :mod:`repro.codec.entropy`) dispatch through a
+registry of interchangeable backends:
 
 - ``reference`` — the original per-block / per-candidate Python loops,
   kept verbatim as the readable specification of each kernel;
 - ``vectorized`` — batched NumPy rewrites (whole-frame blockify, fixed
   contraction paths instead of per-call ``einsum`` path searches, bulk
-  bit appends) that produce **bit-identical** outputs.
+  bit appends) that produce **bit-identical** outputs;
+- ``batched`` (:mod:`repro.codec.backend_batched`) — everything the
+  vectorized backend does, plus whole-GOP/frame-level hoists: per-frame
+  float casts, strided 4x4 source views, and one bulk bit append per
+  macroblock/plane instead of one per 4x4 block;
+- ``numba`` (:mod:`repro.codec.backend_numba`) — opt-in JIT compiles of
+  the dominant SATD kernels on top of ``batched``; registered as
+  unavailable (never an import error) when numba is not installed.
 
 Bit-identity is a hard contract, enforced by
-``tests/property/test_kernel_equivalence.py``: both backends yield the
-same bitstream, reconstruction, search-point counts, and visited
-positions, so sweep cache entries, golden trends, and the µarch traces
-are backend-independent.
+``tests/property/test_kernel_equivalence.py`` for every registered
+backend: all backends yield the same bitstream, reconstruction,
+search-point counts, and visited positions, so sweep cache entries,
+golden trends, and the µarch traces are backend-independent.
+
+A backend is a :class:`Backend` record: a capability set (the hot-path
+predicate :func:`is_vectorized` is a capability check, so new backends
+inherit every vectorized dispatch site), an optional per-kernel override
+table consulted via :func:`impl`, a ``base`` backend that fills in the
+kernels it does not override, and an availability flag so an optional
+dependency degrades to its base with a visible warning instead of a
+crash.
 
 The active backend resolves, in order, from:
 
-1. the innermost :func:`use_backend` context (tests, the bench harness),
-2. an explicit :func:`set_backend` call,
+1. the innermost :func:`backend_scope` context (tests, the bench
+   harness),
+2. an explicit :func:`select_backend` call (`Settings.apply` routes
+   here),
 3. the ``REPRO_KERNELS`` environment variable,
 4. the default, ``vectorized``.
+
+If the selected backend is registered but unavailable (e.g. ``numba``
+without numba installed), resolution walks its ``base`` chain to the
+first available backend and warns once. ``set_backend`` /
+``use_backend`` remain as warn-once deprecation shims.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+import warnings
 from contextlib import contextmanager
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
 
 __all__ = [
+    "Backend",
     "KERNEL_BACKENDS",
     "DEFAULT_BACKEND",
     "active_backend",
+    "all_backends",
+    "available_backends",
+    "backend_info",
+    "backend_scope",
+    "has_capability",
+    "impl",
     "is_vectorized",
+    "register_backend",
+    "select_backend",
     "set_backend",
     "use_backend",
 ]
 
-KERNEL_BACKENDS = ("reference", "vectorized")
 DEFAULT_BACKEND = "vectorized"
 
 _ENV_VAR = "REPRO_KERNELS"
 
-#: Explicitly selected backend (``set_backend``); ``None`` defers to the
-#: environment / default.
+
+@dataclass(frozen=True)
+class Backend:
+    """One registered kernel backend.
+
+    ``capabilities`` is what dispatch sites test (``"vectorized"`` turns
+    on every NumPy fast path; ``"batched"`` additionally enables the
+    frame-level hoists in the encoder). ``impls`` maps kernel ids (e.g.
+    ``"entropy.encode_blocks"``) to override callables; kernels without
+    an override fall through to the ``base`` backend's override, and
+    ultimately to the inline twin selected by the capability checks.
+    ``unavailable_reason`` marks a backend whose optional dependency is
+    missing: selecting it degrades to ``base`` with a warning.
+    """
+
+    name: str
+    capabilities: frozenset[str] = frozenset()
+    impls: Mapping[str, Callable] = field(default_factory=dict)
+    base: str | None = None
+    description: str = ""
+    unavailable_reason: str | None = None
+
+    @property
+    def available(self) -> bool:
+        """Whether the backend can actually run in this process."""
+        return self.unavailable_reason is None
+
+
+#: name -> Backend, in registration order.
+_REGISTRY: dict[str, Backend] = {}
+#: Explicitly selected backend (``select_backend``); ``None`` defers to
+#: the environment / default.
 _forced: str | None = None
-#: Stack of ``use_backend`` overrides; the innermost wins.
+#: Stack of ``backend_scope`` overrides; the innermost wins.
 _override_stack: list[str] = []
+#: Flattened per-backend kernel-override tables (built lazily).
+_impl_cache: dict[str, dict[str, Callable]] = {}
+#: Availability-fallback resolution cache (name -> first available name).
+_resolve_cache: dict[str, str] = {}
+#: Selection snapshot cache: (scope top, forced, raw env) ->
+#: (resolved name, capabilities, flattened impls). The hot dispatch
+#: predicates run per macroblock, so resolution must be one dict hit.
+_selection_cache: dict[
+    tuple[str | None, str | None, str | None],
+    tuple[str, frozenset[str], dict[str, Callable]],
+] = {}
+#: Warnings already emitted (once per message key).
+_warned: set[str] = set()
+
+#: All registered backend names, in registration order (kept as a module
+#: constant for the historical tuple-shaped API).
+KERNEL_BACKENDS: tuple[str, ...] = ()
+
+
+def _warn_once(key: str, message: str, category: type[Warning] = UserWarning) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, category, stacklevel=3)
+    if category is UserWarning:
+        # Availability degradations must be visible even under warning
+        # suppression: a run silently measuring the wrong backend is the
+        # failure mode this guards against.
+        print(f"repro.codec.kernels: {message}", file=sys.stderr)
+
+
+def register_backend(
+    name: str,
+    impls: Mapping[str, Callable] | None = None,
+    capabilities: Iterator[str] | tuple[str, ...] | frozenset[str] = (),
+    *,
+    base: str | None = None,
+    description: str = "",
+    unavailable_reason: str | None = None,
+) -> Backend:
+    """Register (or replace) a kernel backend and return its record.
+
+    ``base`` must already be registered; an unavailable backend (non-None
+    ``unavailable_reason``) must name a base to degrade to. Registration
+    invalidates the resolution caches, so a replacement takes effect
+    immediately.
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise ValueError(f"invalid backend name {name!r}")
+    if base is not None and base not in _REGISTRY:
+        raise ValueError(
+            f"backend {name!r} declares unknown base {base!r}; "
+            f"registered: {', '.join(_REGISTRY) or '(none)'}"
+        )
+    if unavailable_reason is not None and base is None:
+        raise ValueError(
+            f"unavailable backend {name!r} must declare a base to fall back to"
+        )
+    backend = Backend(
+        name=name,
+        capabilities=frozenset(capabilities),
+        impls=dict(impls or {}),
+        base=base,
+        description=description,
+        unavailable_reason=unavailable_reason,
+    )
+    _REGISTRY[name] = backend
+    _impl_cache.clear()
+    _resolve_cache.clear()
+    _selection_cache.clear()
+    global KERNEL_BACKENDS
+    KERNEL_BACKENDS = tuple(_REGISTRY)
+    return backend
+
+
+def all_backends() -> tuple[Backend, ...]:
+    """Every registered backend record, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that can actually run in this process."""
+    return tuple(b.name for b in _REGISTRY.values() if b.available)
+
+
+def backend_info(name: str) -> Backend:
+    """The :class:`Backend` record for ``name`` (``ValueError`` if unknown)."""
+    return _REGISTRY[_validate(name)]
 
 
 def _validate(name: str) -> str:
-    if name not in KERNEL_BACKENDS:
+    if name not in _REGISTRY:
         raise ValueError(
             f"unknown kernel backend {name!r}; "
-            f"expected one of {', '.join(KERNEL_BACKENDS)}"
+            f"expected one of {', '.join(_REGISTRY)}"
         )
     return name
 
 
-def active_backend() -> str:
-    """The backend every dispatched kernel uses right now."""
+def _resolve_available(name: str) -> str:
+    """First available backend on ``name``'s base chain (warns once)."""
+    cached = _resolve_cache.get(name)
+    if cached is not None:
+        return cached
+    backend = _REGISTRY[name]
+    while not backend.available:
+        assert backend.base is not None  # enforced at registration
+        _warn_once(
+            f"unavailable:{backend.name}",
+            f"kernel backend {backend.name!r} is unavailable "
+            f"({backend.unavailable_reason}); falling back to "
+            f"{backend.base!r}",
+        )
+        backend = _REGISTRY[backend.base]
+    _resolve_cache[name] = backend.name
+    return backend.name
+
+
+def _selection() -> tuple[str, frozenset[str], dict[str, Callable]]:
+    """Resolve the active selection to one memoized snapshot.
+
+    The key embeds everything the selection depends on — the innermost
+    ``backend_scope``, the ``select_backend`` force, and the *raw*
+    environment value — so scope pushes/pops and reselects need no
+    explicit invalidation; only ``register_backend`` clears the cache.
+    The environment is consulted (and re-read, every call — callers may
+    flip ``REPRO_KERNELS`` mid-process) only when neither a scope nor a
+    forced selection shadows it: ``os.environ`` lookups are ~µs-scale,
+    too slow for a per-macroblock predicate.
+    """
     if _override_stack:
-        return _override_stack[-1]
-    if _forced is not None:
-        return _forced
-    env = os.environ.get(_ENV_VAR)
-    if env:
-        return _validate(env.strip().lower())
-    return DEFAULT_BACKEND
+        key = (_override_stack[-1], None, None)
+    elif _forced is not None:
+        key = (None, _forced, None)
+    else:
+        key = (None, None, os.environ.get(_ENV_VAR))
+    snapshot = _selection_cache.get(key)
+    if snapshot is None:
+        scoped, forced, env = key
+        if scoped is not None:
+            name = _resolve_available(scoped)
+        elif forced is not None:
+            name = _resolve_available(forced)
+        elif env:
+            name = _resolve_available(_validate(env.strip().lower()))
+        else:
+            name = _resolve_available(DEFAULT_BACKEND)
+        snapshot = (name, _REGISTRY[name].capabilities, _flat_impls(name))
+        _selection_cache[key] = snapshot
+    return snapshot
+
+
+def active_backend() -> str:
+    """The backend every dispatched kernel uses right now.
+
+    Always names an *available* backend: selecting an unavailable one
+    (e.g. ``numba`` without numba installed) resolves to the first
+    available backend on its base chain, with a one-time warning.
+    """
+    return _selection()[0]
 
 
 def is_vectorized() -> bool:
-    """Fast predicate for the hot-path dispatch sites."""
-    return active_backend() == "vectorized"
+    """Fast predicate for the hot-path dispatch sites.
+
+    True for every backend with the ``"vectorized"`` capability
+    (``vectorized``, ``batched``, ``numba``), so the NumPy fast paths
+    stay on when a higher backend only overrides a few kernels.
+    """
+    return "vectorized" in _selection()[1]
 
 
-def set_backend(name: str | None) -> None:
-    """Select a backend process-wide (``None`` reverts to env/default)."""
+def has_capability(capability: str) -> bool:
+    """Whether the active backend declares ``capability``."""
+    return capability in _selection()[1]
+
+
+def _flat_impls(name: str) -> dict[str, Callable]:
+    flat = _impl_cache.get(name)
+    if flat is None:
+        backend = _REGISTRY[name]
+        flat = dict(_flat_impls(backend.base)) if backend.base else {}
+        flat.update(backend.impls)
+        _impl_cache[name] = flat
+    return flat
+
+
+def impl(kernel_id: str) -> Callable | None:
+    """The active backend's override for ``kernel_id``, if any.
+
+    Walks the backend's ``base`` chain (nearest override wins); returns
+    ``None`` when no registered backend on the chain overrides the
+    kernel, in which case the dispatch site uses its inline twin.
+    """
+    return _selection()[2].get(kernel_id)
+
+
+def select_backend(name: str | None) -> None:
+    """Select a backend process-wide (``None`` reverts to env/default).
+
+    Unknown names raise ``ValueError`` eagerly, listing the registered
+    backends; a registered-but-unavailable backend is accepted and
+    degrades to its base at dispatch time with a warning.
+    """
     global _forced
     _forced = None if name is None else _validate(name)
 
 
 @contextmanager
-def use_backend(name: str) -> Iterator[str]:
-    """Scoped backend override (nestable; the innermost context wins)."""
+def backend_scope(name: str) -> Iterator[str]:
+    """Scoped backend override (nestable; the innermost context wins).
+
+    The previous backend is restored even when the body raises.
+    """
     _override_stack.append(_validate(name))
     try:
         yield name
     finally:
         _override_stack.pop()
+
+
+# ----------------------------------------------------------------------
+# Deprecated compatibility surface (PR 5 convention: warn once).
+# ----------------------------------------------------------------------
+
+def set_backend(name: str | None) -> None:
+    """Deprecated alias of :func:`select_backend` (warns once)."""
+    _warn_once(
+        "deprecated:set_backend",
+        "kernels.set_backend is deprecated; use kernels.select_backend",
+        DeprecationWarning,
+    )
+    select_backend(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Deprecated alias of :func:`backend_scope` (warns once)."""
+    _warn_once(
+        "deprecated:use_backend",
+        "kernels.use_backend is deprecated; use kernels.backend_scope",
+        DeprecationWarning,
+    )
+    with backend_scope(name) as active:
+        yield active
+
+
+# ----------------------------------------------------------------------
+# Built-in backends. The extension modules register themselves through
+# the hook below so they never import this module at import time.
+# ----------------------------------------------------------------------
+
+register_backend(
+    "reference",
+    description="scalar per-block Python loops (the readable specification)",
+)
+register_backend(
+    "vectorized",
+    capabilities=("vectorized",),
+    base="reference",
+    description="batched NumPy rewrites, bit-identical to reference",
+)
+
+
+def _register_builtin_extensions() -> None:
+    from repro.codec import backend_batched, backend_numba
+
+    backend_batched.register(register_backend)
+    backend_numba.register(register_backend)
+
+
+_register_builtin_extensions()

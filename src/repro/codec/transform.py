@@ -148,6 +148,9 @@ def satd_batch(block_sets: np.ndarray) -> np.ndarray:
         raise ValueError(f"expected (k, n, 4, 4) block sets, got {arr.shape}")
     if not kernels.is_vectorized():
         return np.array([satd_4x4(arr[i]) for i in range(arr.shape[0])])
+    override = kernels.impl("transform.satd_batch")
+    if override is not None:
+        return override(arr)
     trans = _H4 @ np.ascontiguousarray(arr) @ _H4T
     return np.abs(trans).reshape(arr.shape[0], -1).sum(axis=1) / 2.0
 
@@ -189,6 +192,9 @@ def hadamard_sad_batch(cur: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         raise ValueError("hadamard_sad_batch expects 16x16 blocks")
     if not kernels.is_vectorized():
         return np.array([hadamard_sad(cur, cands[i]) for i in range(len(cands))])
+    override = kernels.impl("transform.hadamard_sad_batch")
+    if override is not None:
+        return override(cur, cands)
     diff = cur.astype(np.float64)[None] - cands.astype(np.float64)
     k = diff.shape[0]
     blocks = (

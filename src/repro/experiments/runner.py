@@ -40,7 +40,7 @@ from pathlib import Path
 from repro import resilience
 from repro.codec.options import EncoderOptions
 from repro.codec.presets import preset_options
-from repro.experiments import parallel
+from repro.experiments import parallel, transport
 from repro.experiments.cache import (
     ResultCache,
     SweepRecord,
@@ -193,9 +193,18 @@ _VIDEO_CACHE: dict[tuple[str, int, int, int], object] = {}
 def _load_video_cached(scale: ExperimentScale, name: str):
     key = (name, scale.width, scale.height, scale.n_frames)
     if key not in _VIDEO_CACHE:
-        _VIDEO_CACHE[key] = load_video(
-            name, width=scale.width, height=scale.height, n_frames=scale.n_frames
-        )
+        # Workers forked from a publishing parent attach the shared
+        # planes instead of decoding; everyone else decodes normally
+        # (fetch returns None in the publishing process itself).
+        video = transport.fetch(key)
+        if video is None:
+            video = load_video(
+                name,
+                width=scale.width,
+                height=scale.height,
+                n_frames=scale.n_frames,
+            )
+        _VIDEO_CACHE[key] = video
     return _VIDEO_CACHE[key]
 
 
@@ -474,13 +483,17 @@ class SweepRunner:
 
         outcomes = []
         if misses:
-            outcomes = parallel.run_tasks(
-                compute_point,
-                misses,
-                jobs=self.jobs,
-                label=label,
-                on_result=_store_streaming,
-            )
+            shared_keys = self._publish_shared_videos(misses)
+            try:
+                outcomes = parallel.run_tasks(
+                    compute_point,
+                    misses,
+                    jobs=self.jobs,
+                    label=label,
+                    on_result=_store_streaming,
+                )
+            finally:
+                transport.release(shared_keys)
         failures: list[CellFailure] = []
         for outcome in outcomes:
             spec = misses[outcome.index]
@@ -513,6 +526,41 @@ class SweepRunner:
             )
         if ckpt is not None:
             ckpt.discard()
+
+    def _publish_shared_videos(self, misses: list[PointSpec]) -> tuple:
+        """Publish each clip the worker pool will need into shared memory.
+
+        Decoded planes deliberately bypass the parent's ``_VIDEO_CACHE``:
+        forked workers then miss their inherited cache and attach the
+        shared segment via :func:`transport.fetch` instead of decoding.
+        Returns the published keys (released by the caller once the pool
+        drains). With one job, transport disabled, or a publish failure
+        the historical path runs unchanged — a failed clip lands in the
+        parent cache so workers at least share it copy-on-write.
+        """
+        if self.jobs <= 1 or not transport.enabled():
+            return ()
+        published: list[tuple] = []
+        seen: set[tuple] = set()
+        for spec in misses:
+            scale = spec.scale
+            key = (spec.video, scale.width, scale.height, scale.n_frames)
+            if key in seen or key in _VIDEO_CACHE:
+                continue
+            seen.add(key)
+            video = load_video(
+                spec.video,
+                width=scale.width,
+                height=scale.height,
+                n_frames=scale.n_frames,
+            )
+            if transport.publish_video(key, video):
+                published.append(key)
+            else:
+                _VIDEO_CACHE[key] = video
+        if published:
+            obs.inc("sweep.shm_clips", len(published))
+        return tuple(published)
 
     def _open_checkpoint(
         self, unique: list[PointSpec], label: str

@@ -647,11 +647,13 @@ class TranscodeService:
             obs.inc("service.profile_hits")
             return cached
         from repro.codec.encoder import Encoder
-        from repro.video.vbench import load_video
+        from repro.experiments import transport
 
         with obs.span("service.profile", job=job.job_id,
                       clip=job.request.clip):
-            video = load_video(
+            # Decoded once per clip geometry process-wide (and attached
+            # zero-copy when a sweep parent already published the clip).
+            video = transport.cached_video(
                 job.request.clip, width=self.config.width,
                 height=self.config.height, n_frames=self.config.n_frames,
             )

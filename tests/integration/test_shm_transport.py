@@ -1,0 +1,292 @@
+"""Integration: zero-copy shared-memory frame transport.
+
+The transport contract (ISSUE 10): publishing decoded clips into
+``multiprocessing.shared_memory`` is an optimization, never a
+correctness dependency. A parallel sweep reading shared planes must
+produce payloads byte-identical to a serial run's and to a parallel run
+with the transport disabled — including when shared memory is broken
+(publish falls back, visibly) and when a worker is killed mid-sweep
+(retries re-attach the same segment).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import resilience
+from repro.experiments import parallel, runner as runner_mod, transport
+from repro.experiments.cache import record_to_payload
+from repro.experiments.runner import QUICK, SweepFailure, SweepRunner
+from repro.obs import telemetry_session
+from repro.resilience import RetryPolicy
+from repro.video.frame import Frame, FrameSequence
+from repro.video.vbench import load_video
+
+#: QUICK proxy geometry with a trimmed grid — four cells are enough to
+#: fan out across two workers and hit the publish/attach/release path.
+SCALE = QUICK.with_updates(
+    name="quick-shm",
+    width=48,
+    height=32,
+    n_frames=4,
+    crf_values=(23, 40),
+    refs_values=(1, 2),
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_transport_state(monkeypatch):
+    """Every test starts with no published segments, an empty decoded-clip
+    cache (so publishing is not skipped), and default transport config."""
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    for reset in (_reset_state,):
+        reset()
+    yield
+    _reset_state()
+
+
+def _reset_state():
+    transport.release_all()
+    transport.configure(None)
+    transport._ATTACHED.clear()
+    transport._DECODE_CACHE.clear()
+    runner_mod._VIDEO_CACHE.clear()
+    parallel.configure(jobs=None, cache_dir=None)
+    resilience.reset()
+
+
+def _payloads(records):
+    return [record_to_payload(r) for r in records]
+
+
+@pytest.fixture(scope="module")
+def serial_payloads():
+    """Ground truth: the sweep computed serially, no transport involved."""
+    records = SweepRunner(SCALE, jobs=1, cache=False).crf_refs_sweep()
+    payloads = _payloads(records)
+    runner_mod._VIDEO_CACHE.clear()
+    return payloads
+
+
+# --- segment round-trip ------------------------------------------------------
+
+
+def _chroma_video(n_frames: int = 3, height: int = 32, width: int = 48):
+    rng = np.random.default_rng(7)
+    ch, cw = (height + 1) // 2, (width + 1) // 2
+    frames = [
+        Frame(
+            luma=rng.integers(0, 256, size=(height, width), dtype=np.uint8),
+            chroma=(
+                rng.integers(0, 256, size=(ch, cw), dtype=np.uint8),
+                rng.integers(0, 256, size=(ch, cw), dtype=np.uint8),
+            ),
+        )
+        for _ in range(n_frames)
+    ]
+    return FrameSequence(frames=frames, fps=30.0, name="synthetic-chroma")
+
+
+def _as_disowned_worker(key):
+    """Make this process look like a forked worker for ``key``'s segment.
+
+    Returns a restore callback: attached views must be dropped *before*
+    the segment is released, or closing the mapping raises BufferError.
+    """
+    seg = transport._SEGMENTS[key]
+    seg.owner_pid = -1
+
+    def restore():
+        transport._ATTACHED.clear()
+        seg.owner_pid = os.getpid()
+
+    return restore
+
+
+class TestSegmentRoundTrip:
+    @staticmethod
+    def _check_shared_luma(key, video):
+        # All shared views live only inside this frame, so release() can
+        # close the mapping after it returns.
+        shared = transport.fetch(key)
+        assert shared is not None
+        assert shared is transport.fetch(key)  # attach once, then cache
+        assert shared.name == video.name
+        assert shared.fps == video.fps
+        assert len(shared.frames) == len(video.frames)
+        for mine, theirs in zip(video.frames, shared.frames):
+            assert np.array_equal(mine.luma, theirs.luma)
+            assert not theirs.luma.flags.writeable
+
+    def test_luma_only_clip_round_trips(self):
+        key = ("desktop", SCALE.width, SCALE.height, SCALE.n_frames)
+        video = load_video(
+            "desktop",
+            width=SCALE.width,
+            height=SCALE.height,
+            n_frames=SCALE.n_frames,
+        )
+        assert transport.publish_video(key, video) is True
+        assert transport.publish_video(key, video) is True  # idempotent
+        assert transport.transport_stats()["published"] == 1
+
+        # The publisher keeps its own decoded copy: fetch is a no-op here.
+        assert transport.fetch(key) is None
+
+        restore = _as_disowned_worker(key)
+        try:
+            self._check_shared_luma(key, video)
+        finally:
+            restore()
+
+        transport.release([key])
+        assert key not in transport._SEGMENTS
+        assert transport.transport_stats()["published"] == 0
+
+    @staticmethod
+    def _check_shared_chroma(key, video):
+        shared = transport.fetch(key)
+        assert shared is not None
+        for mine, theirs in zip(video.frames, shared.frames):
+            assert theirs.chroma is not None
+            for plane_mine, plane_theirs in zip(mine.chroma, theirs.chroma):
+                assert np.array_equal(plane_mine, plane_theirs)
+                assert not plane_theirs.flags.writeable
+
+    def test_chroma_planes_round_trip(self):
+        video = _chroma_video()
+        key = ("synthetic-chroma", 48, 32, 3)
+        assert transport.publish_video(key, video) is True
+        restore = _as_disowned_worker(key)
+        try:
+            self._check_shared_chroma(key, video)
+        finally:
+            restore()
+        transport.release([key])
+        assert transport.transport_stats()["published"] == 0
+
+    def test_cached_video_decodes_once(self):
+        a = transport.cached_video(
+            "desktop", width=48, height=32, n_frames=4
+        )
+        b = transport.cached_video(
+            "desktop", width=48, height=32, n_frames=4
+        )
+        assert a is b
+        direct = load_video("desktop", width=48, height=32, n_frames=4)
+        for mine, theirs in zip(direct.frames, a.frames):
+            assert np.array_equal(mine.luma, theirs.luma)
+
+
+# --- sweep equivalence -------------------------------------------------------
+
+
+class TestSweepEquivalence:
+    def test_parallel_shm_matches_serial(self, serial_payloads):
+        with telemetry_session() as tel:
+            records = SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert _payloads(records) == serial_payloads
+        # The shared path actually ran: the parent published the clip ...
+        assert "sweep.shm_clips" in tel.metrics.as_dict()
+        # ... without caching a private decoded copy (workers would then
+        # inherit it copy-on-write and never touch the segment) ...
+        key = (SCALE.sweep_video, SCALE.width, SCALE.height, SCALE.n_frames)
+        assert key not in runner_mod._VIDEO_CACHE
+        # ... and released the segment once the pool drained.
+        assert transport.transport_stats()["published"] == 0
+
+    def test_parallel_without_shm_matches_serial(self, serial_payloads):
+        transport.configure(False)
+        with telemetry_session() as tel:
+            records = SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert _payloads(records) == serial_payloads
+        assert "sweep.shm_clips" not in tel.metrics.as_dict()
+        assert transport.transport_stats()["published"] == 0
+
+    def test_env_var_disables_publishing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert transport.enabled() is False
+        runner = SweepRunner(SCALE, jobs=2, cache=False)
+        assert runner._publish_shared_videos([]) == ()
+
+
+# --- fallback when shared memory is broken -----------------------------------
+
+
+class _BrokenSharedMemory:
+    def __init__(self, *args, **kwargs):
+        raise OSError("shm_open: no space left on device")
+
+
+class TestPublishFallback:
+    def test_publish_failure_warns_once_and_returns_false(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "multiprocessing.shared_memory.SharedMemory", _BrokenSharedMemory
+        )
+        monkeypatch.setattr(transport, "_warned", set())
+        video = _chroma_video()
+        key = ("synthetic-chroma", 48, 32, 3)
+        with pytest.warns(UserWarning, match="falling back to per-worker"):
+            assert transport.publish_video(key, video) is False
+        assert "falling back to per-worker" in capsys.readouterr().err
+        # Second failure is silent: warn once per process, not per clip.
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert transport.publish_video(key, video) is False
+        assert not [w for w in caught if issubclass(w.category, UserWarning)]
+        assert transport.transport_stats()["published"] == 0
+
+    def test_sweep_still_identical_when_publish_fails(
+        self, monkeypatch, serial_payloads
+    ):
+        monkeypatch.setattr(
+            "multiprocessing.shared_memory.SharedMemory", _BrokenSharedMemory
+        )
+        monkeypatch.setattr(transport, "_warned", set())
+        with pytest.warns(UserWarning, match="falling back"):
+            records = SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert _payloads(records) == serial_payloads
+        # The fallback cached the decode so workers share it copy-on-write.
+        key = (SCALE.sweep_video, SCALE.width, SCALE.height, SCALE.n_frames)
+        assert key in runner_mod._VIDEO_CACHE
+
+
+# --- chaos: transport under worker kills -------------------------------------
+
+
+class TestWorkerKill:
+    def test_transient_worker_faults_retry_to_identical(self, serial_payloads):
+        # The injected exception fires at most once per worker process
+        # (max=1); retries land on a clean worker that re-attaches the
+        # same shared segment and produces the same bytes.
+        resilience.configure(retry=FAST_RETRY)
+        resilience.install_plan("worker.task,match=2,max=1,raise=InjectedFault")
+        records = SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert _payloads(records) == serial_payloads
+        assert transport.transport_stats()["published"] == 0
+
+    def test_segments_released_after_worker_kill(self, serial_payloads):
+        # A kill plan without max= murders every retry of its cell, so the
+        # sweep ends in SweepFailure — the transport must still release
+        # its segments (the engine's finally path), and a chaos-free rerun
+        # over shared memory must match the serial ground truth.
+        resilience.configure(retry=FAST_RETRY)
+        resilience.install_plan("worker.task,match=2,kill")
+        with pytest.raises(SweepFailure) as excinfo:
+            SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert len(excinfo.value.failures) == 1
+        assert transport.transport_stats()["published"] == 0
+
+        resilience.configure(fault_plan=False)  # chaos off
+        records = SweepRunner(SCALE, jobs=2, cache=False).crf_refs_sweep()
+        assert _payloads(records) == serial_payloads
+        assert transport.transport_stats()["published"] == 0

@@ -1,10 +1,14 @@
-"""Bit-identity between the reference and vectorized kernel backends.
+"""Bit-identity between the reference backend and every other backend.
 
-The vectorized backend is an optimization, not an approximation: every
+The optimized backends are optimizations, not approximations: every
 kernel must produce *bitwise identical* outputs to the scalar reference
 on the same inputs, so golden-output tests and paper figures are
-backend-independent. These tests compare both backends directly — first
-kernel by kernel on random inputs, then through a full encode.
+backend-independent. These tests run each workload under every
+*available* registered backend (``vectorized``, ``batched``, and
+``numba`` when importable — an uninstalled optional backend simply is
+not in :func:`repro.codec.kernels.available_backends`) and compare all
+of them against ``reference`` — first kernel by kernel on random
+inputs, then through a full encode.
 """
 
 from __future__ import annotations
@@ -19,19 +23,27 @@ from repro.codec.encoder import encode
 from repro.codec.options import EncoderOptions
 
 
-def _both_backends(fn):
-    """Run ``fn()`` under each backend; return {backend: result}."""
+def _all_backends(fn):
+    """Run ``fn()`` under each available backend; return {backend: result}."""
     out = {}
-    for backend in kernels.KERNEL_BACKENDS:
-        with kernels.use_backend(backend):
+    for backend in kernels.available_backends():
+        with kernels.backend_scope(backend):
             out[backend] = fn()
     return out
 
 
 def _assert_identical_arrays(results):
-    ref, vec = results["reference"], results["vectorized"]
-    assert np.array_equal(np.asarray(ref), np.asarray(vec))
-    assert np.asarray(ref).dtype == np.asarray(vec).dtype
+    ref = np.asarray(results["reference"])
+    for backend, result in results.items():
+        arr = np.asarray(result)
+        assert np.array_equal(ref, arr), f"{backend} diverged from reference"
+        assert ref.dtype == arr.dtype, f"{backend} changed dtype"
+
+
+def _assert_identical_values(results):
+    ref = results["reference"]
+    for backend, result in results.items():
+        assert result == ref, f"{backend} diverged from reference"
 
 
 # --- per-kernel equivalence -------------------------------------------------
@@ -43,9 +55,9 @@ def test_transform_roundtrip_identical(seed):
 
     rng = np.random.default_rng(seed)
     blocks = rng.uniform(-255, 255, size=(64, 4, 4))
-    fwd = _both_backends(lambda: forward_4x4(blocks))
+    fwd = _all_backends(lambda: forward_4x4(blocks))
     _assert_identical_arrays(fwd)
-    inv = _both_backends(lambda: inverse_4x4(fwd["reference"]))
+    inv = _all_backends(lambda: inverse_4x4(fwd["reference"]))
     _assert_identical_arrays(inv)
 
 
@@ -58,12 +70,23 @@ def test_satd_identical(seed):
     # different reduction orders still agree bitwise on this domain.
     rng = np.random.default_rng(seed)
     sets = rng.integers(-255, 256, size=(8, 16, 4, 4)).astype(np.float64)
-    batch = _both_backends(lambda: satd_batch(sets))
+    batch = _all_backends(lambda: satd_batch(sets))
     _assert_identical_arrays(batch)
 
     diff = rng.integers(-255, 256, size=(16, 16)).astype(np.float64)
-    single = _both_backends(lambda: satd_16x16(diff))
-    assert single["reference"] == single["vectorized"]
+    single = _all_backends(lambda: satd_16x16(diff))
+    _assert_identical_values(single)
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_hadamard_sad_batch_identical(seed):
+    from repro.codec.transform import hadamard_sad_batch
+
+    rng = np.random.default_rng(seed)
+    cur = rng.integers(0, 256, size=(16, 16)).astype(np.uint8)
+    cands = rng.integers(0, 256, size=(12, 16, 16)).astype(np.uint8)
+    results = _all_backends(lambda: hadamard_sad_batch(cur, cands))
+    _assert_identical_arrays(results)
 
 
 def test_entropy_encode_blocks_identical():
@@ -74,11 +97,27 @@ def test_entropy_encode_blocks_identical():
 
     def run():
         writer = BitWriter()
-        encode_blocks(writer, levels)
-        return writer.getvalue()
+        widths = encode_blocks(writer, levels)
+        return writer.getvalue(), list(widths)
 
-    results = _both_backends(run)
-    assert results["reference"] == results["vectorized"]
+    _assert_identical_values(_all_backends(run))
+
+
+def test_entropy_encode_blocks_identical_empty_and_dense():
+    from repro.codec.entropy import BitWriter, encode_blocks
+
+    rng = np.random.default_rng(6)
+    dense = rng.integers(-300, 301, size=(8, 4, 4)).astype(np.int32)
+    dense[0] = 0  # all-zero block inside the batch
+    zeros = np.zeros((4, 4, 4), dtype=np.int32)  # whole batch empty
+
+    def run():
+        writer = BitWriter()
+        w1 = encode_blocks(writer, dense)
+        w2 = encode_blocks(writer, zeros)
+        return writer.getvalue(), list(w1), list(w2)
+
+    _assert_identical_values(_all_backends(run))
 
 
 def test_intra_prediction_identical(tiny_video):
@@ -89,19 +128,20 @@ def test_intra_prediction_identical(tiny_video):
     for mb_y in range(0, src_frame.shape[0] - 15, 16):
         for mb_x in range(0, src_frame.shape[1] - 15, 16):
             src = src_frame[mb_y : mb_y + 16, mb_x : mb_x + 16]
-            p4 = _both_backends(lambda: predict_4x4_blocks(src, recon, mb_y, mb_x))
+            p4 = _all_backends(lambda: predict_4x4_blocks(src, recon, mb_y, mb_x))
             ref_pred, ref_sad, ref_tried = p4["reference"]
-            vec_pred, vec_sad, vec_tried = p4["vectorized"]
-            assert np.array_equal(ref_pred, vec_pred)
-            assert ref_sad == vec_sad
-            assert ref_tried == vec_tried
+            for backend, (pred, sad, tried) in p4.items():
+                assert np.array_equal(ref_pred, pred), backend
+                assert ref_sad == sad, backend
+                assert ref_tried == tried, backend
 
-            p16 = _both_backends(lambda: best_intra_16x16(src, recon, mb_y, mb_x))
-            ref, vec = p16["reference"], p16["vectorized"]
-            assert ref.mode == vec.mode
-            assert np.array_equal(ref.prediction, vec.prediction)
-            assert ref.sad == vec.sad
-            assert ref.n_modes_tried == vec.n_modes_tried
+            p16 = _all_backends(lambda: best_intra_16x16(src, recon, mb_y, mb_x))
+            ref = p16["reference"]
+            for backend, res in p16.items():
+                assert ref.mode == res.mode, backend
+                assert np.array_equal(ref.prediction, res.prediction), backend
+                assert ref.sad == res.sad, backend
+                assert ref.n_modes_tried == res.n_modes_tried, backend
 
 
 @pytest.mark.parametrize("method", ["dia", "hex", "umh", "esa"])
@@ -122,8 +162,7 @@ def test_motion_search_identical(tiny_video, method):
                 out.append((res.mv_x, res.mv_y, res.cost, res.n_points))
         return out
 
-    results = _both_backends(run)
-    assert results["reference"] == results["vectorized"]
+    _assert_identical_values(_all_backends(run))
 
 
 @pytest.mark.parametrize("subme", [3, 7, 9])
@@ -144,8 +183,7 @@ def test_subpel_refine_identical(tiny_video, subme):
                 out.append((res.mv_x, res.mv_y, res.cost, res.n_points))
         return out
 
-    results = _both_backends(run)
-    assert results["reference"] == results["vectorized"]
+    _assert_identical_values(_all_backends(run))
 
 
 @pytest.mark.parametrize("qp", [12, 28, 44])
@@ -153,11 +191,11 @@ def test_deblock_plane_identical(tiny_video, qp):
     from repro.codec.deblock import deblock_plane
 
     plane = tiny_video.frames[0].luma
-    results = _both_backends(lambda: deblock_plane(plane, qp=qp))
+    results = _all_backends(lambda: deblock_plane(plane, qp=qp))
     ref_plane, ref_edges = results["reference"]
-    vec_plane, vec_edges = results["vectorized"]
-    assert np.array_equal(ref_plane, vec_plane)
-    assert ref_edges == vec_edges
+    for backend, (out_plane, edges) in results.items():
+        assert np.array_equal(ref_plane, out_plane), backend
+        assert ref_edges == edges, backend
 
 
 def test_chroma_plane_identical(tiny_video):
@@ -172,8 +210,7 @@ def test_chroma_plane_identical(tiny_video):
         encode_chroma_plane(writer, plane, prev, luma_qp=26)
         return writer.getvalue()
 
-    results = _both_backends(run)
-    assert results["reference"] == results["vectorized"]
+    _assert_identical_values(_all_backends(run))
 
 
 # --- end-to-end encode equivalence ------------------------------------------
@@ -208,10 +245,10 @@ ENCODE_CONFIGS = [
 
 @pytest.mark.parametrize("options", ENCODE_CONFIGS)
 def test_encode_bit_identical_across_backends(tiny_video, options):
-    digests = _both_backends(lambda: _encode_digest(tiny_video, options))
-    assert digests["reference"] == digests["vectorized"]
+    digests = _all_backends(lambda: _encode_digest(tiny_video, options))
+    _assert_identical_values(digests)
 
 
 def test_encode_bit_identical_static_scene(static_video):
-    digests = _both_backends(lambda: _encode_digest(static_video, EncoderOptions()))
-    assert digests["reference"] == digests["vectorized"]
+    digests = _all_backends(lambda: _encode_digest(static_video, EncoderOptions()))
+    _assert_identical_values(digests)

@@ -17,7 +17,8 @@ from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy
 
 ALL_ENV = (
-    "REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_KERNELS", "REPRO_FAULT_PLAN",
+    "REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_KERNELS", "REPRO_SHM",
+    "REPRO_FAULT_PLAN",
     "REPRO_RESUME", "REPRO_CHECKPOINT_DIR", "REPRO_RETRY_ATTEMPTS",
     "REPRO_RETRY_BASE_DELAY", "REPRO_RETRY_MAX_DELAY",
     "REPRO_BENCH_MATRIX", "REPRO_BENCH_HISTORY",
@@ -40,6 +41,7 @@ class TestDefaults:
         assert s.cache_dir is None
         assert s.cache_enabled is True
         assert s.kernels == kernels.DEFAULT_BACKEND
+        assert s.shm is True
         assert s.fault_plan is None
         assert s.resume is False
         assert s.checkpoint_dir is None
@@ -58,6 +60,17 @@ class TestValidation:
     def test_rejects_unknown_kernel_backend(self):
         with pytest.raises(ValueError, match="kernel backend"):
             Settings(kernels="quantum")
+
+    def test_accepts_every_registered_backend(self):
+        # Unavailable-but-registered backends (numba without numba) are
+        # valid selections; they degrade at dispatch time, not here.
+        for name in kernels.KERNEL_BACKENDS:
+            assert Settings(kernels=name).kernels == name
+
+    def test_rejects_unknown_env_kernels_eagerly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "vectorised")  # typo'd
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            Settings.from_env()
 
     def test_rejects_malformed_fault_plan_eagerly(self):
         with pytest.raises(ValueError):
@@ -96,6 +109,15 @@ class TestPrecedence:
     def test_garbage_env_jobs_ignored(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
         assert Settings.from_env().jobs == 1
+
+    def test_shm_env_and_flag(self, monkeypatch):
+        assert Settings.resolve().shm is True
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert Settings.from_env().shm is False
+        monkeypatch.setenv("REPRO_SHM", "true")
+        assert Settings.from_env().shm is True
+        # --no-shm beats the environment.
+        assert Settings.resolve(no_shm=True).shm is False
 
     def test_retry_policy_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "5")
@@ -142,6 +164,14 @@ class TestApply:
     def test_apply_without_cache_disables_it(self):
         Settings(cache_enabled=False).apply()
         assert engine.default_cache() is None
+
+    def test_apply_configures_transport(self):
+        from repro.experiments import transport
+
+        Settings(shm=False).apply()
+        assert transport.enabled() is False
+        Settings.reset()
+        assert transport.enabled() is True
 
     def test_reset_restores_env_fallback(self, monkeypatch):
         Settings(jobs=9, kernels="reference").apply()

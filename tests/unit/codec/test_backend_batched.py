@@ -1,0 +1,105 @@
+"""The ``batched`` backend's folded entropy kernel: one bulk bit append
+per block batch, bit-identical to the per-block reference path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec import kernels
+from repro.codec.backend_batched import encode_blocks_folded
+from repro.codec.entropy import BitReader, BitWriter, decode_block, encode_block
+
+
+def _per_block_reference(blocks: np.ndarray) -> tuple[bytes, list[int]]:
+    writer = BitWriter()
+    widths = [encode_block(writer, block) for block in blocks]
+    return writer.getvalue(), widths
+
+
+def _folded(blocks: np.ndarray) -> tuple[bytes, list[int]]:
+    writer = BitWriter()
+    widths = encode_blocks_folded(writer, blocks)
+    return writer.getvalue(), widths
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_folded_matches_per_block_encoding(seed):
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(-32, 33, size=(24, 4, 4)).astype(np.int32)
+    ref_bytes, ref_widths = _per_block_reference(blocks)
+    out_bytes, out_widths = _folded(blocks)
+    assert out_bytes == ref_bytes
+    assert out_widths == ref_widths
+
+
+def test_folded_handles_zero_blocks_in_batch():
+    rng = np.random.default_rng(3)
+    blocks = rng.integers(-4, 5, size=(6, 4, 4)).astype(np.int32)
+    blocks[0] = 0
+    blocks[3] = 0
+    assert _folded(blocks) == _per_block_reference(blocks)
+
+
+def test_folded_all_zero_batch():
+    blocks = np.zeros((5, 4, 4), dtype=np.int32)
+    out_bytes, out_widths = _folded(blocks)
+    assert (out_bytes, out_widths) == _per_block_reference(blocks)
+    assert len(out_widths) == 5
+
+
+def test_folded_empty_batch_appends_nothing():
+    blocks = np.zeros((0, 4, 4), dtype=np.int32)
+    out_bytes, out_widths = _folded(blocks)
+    assert out_widths == []
+    assert out_bytes == b""
+
+
+def test_folded_large_magnitudes():
+    # Levels wide enough to need long exp-Golomb codewords.
+    rng = np.random.default_rng(4)
+    blocks = rng.integers(-5000, 5001, size=(8, 4, 4)).astype(np.int32)
+    assert _folded(blocks) == _per_block_reference(blocks)
+
+
+def test_folded_stream_decodes_back_to_blocks():
+    rng = np.random.default_rng(5)
+    blocks = rng.integers(-9, 10, size=(10, 4, 4)).astype(np.int32)
+    data, _ = _folded(blocks)
+    reader = BitReader(data)
+    for block in blocks:
+        assert np.array_equal(decode_block(reader), block)
+
+
+def test_registration_record():
+    info = kernels.backend_info("batched")
+    assert info.base == "vectorized"
+    assert info.available
+    assert {"vectorized", "batched"} <= set(info.capabilities)
+    assert info.impls["entropy.encode_blocks"] is encode_blocks_folded
+
+
+def test_dispatch_uses_fold_under_batched_scope():
+    rng = np.random.default_rng(6)
+    blocks = rng.integers(-4, 5, size=(12, 4, 4)).astype(np.int32)
+    from repro.codec.entropy import encode_blocks
+
+    class CountingWriter(BitWriter):
+        def __init__(self):
+            super().__init__()
+            self.appends = 0
+
+        def append_bits(self, value, nbits):
+            self.appends += 1
+            return super().append_bits(value, nbits)
+
+    with kernels.backend_scope("batched"):
+        batched_writer = CountingWriter()
+        encode_blocks(batched_writer, blocks)
+    with kernels.backend_scope("vectorized"):
+        vector_writer = CountingWriter()
+        encode_blocks(vector_writer, blocks)
+    assert batched_writer.getvalue() == vector_writer.getvalue()
+    # The fold is the point: one bulk append versus one per block.
+    assert batched_writer.appends == 1
+    assert vector_writer.appends == len(blocks)
